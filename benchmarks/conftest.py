@@ -1,0 +1,67 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The rendered
+tables are printed and also written to ``benchmarks/results/<name>.txt`` so
+they survive pytest's output capturing.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+``small`` (quick smoke run), ``default`` (the standard reproduction scale)
+or ``paper`` (approximates the paper's full corpus size; slow).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.context import MovieExperimentConfig, get_movie_context
+from repro.experiments.crowd_quality import run_crowd_quality_experiments
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """The benchmark scale selected via REPRO_BENCH_SCALE."""
+    return os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+
+
+def bench_config() -> MovieExperimentConfig:
+    """Movie-experiment configuration for the selected scale."""
+    scale = bench_scale()
+    if scale == "small":
+        return MovieExperimentConfig.small()
+    if scale == "paper":
+        return MovieExperimentConfig.paper_scale()
+    return MovieExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def movie_context():
+    """The movie experiment context shared by all movie benchmarks."""
+    return get_movie_context(bench_config())
+
+
+@pytest.fixture(scope="session")
+def crowd_outcome(movie_context):
+    """Experiments 1-3 runs, shared between the Table 1 and Figure 3/4 benches."""
+    return run_crowd_quality_experiments(movie_context, seed=17)
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Callable writing a rendered table to stdout and benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def repetitions() -> int:
+    """Number of random repetitions per cell (the paper uses 20)."""
+    return {"small": 2, "paper": 20}.get(bench_scale(), 3)

@@ -1,0 +1,160 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These do not correspond to a numbered table in the paper; they quantify the
+components the paper's results rest on:
+
+* perceptual-space construction cost (the "about 2 hours on a notebook"
+  remark in Section 4.2, scaled down),
+* Euclidean embedding vs. the plain SVD model as the source of the space,
+* SVM extraction cost per retraining step (the "roughly 0.5 seconds" remark
+  in Experiment 4),
+* SQL engine throughput for the query shapes the workload uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.extractor import PerceptualAttributeExtractor
+from repro.db.database import CrowdDatabase
+from repro.experiments.context import build_perceptual_space
+from repro.learn.metrics import g_mean
+from repro.learn.model_selection import sample_balanced_training_set
+from repro.perceptual.factorization import FactorModelConfig
+from repro.perceptual.svd_model import SVDModel
+from repro.utils.tables import format_table
+
+
+def test_ablation_space_construction(benchmark, movie_context, report_writer):
+    """Cost of building the perceptual space from the rating corpus."""
+    corpus = movie_context.corpus
+    config = movie_context.config
+
+    space = benchmark.pedantic(
+        build_perceptual_space,
+        args=(corpus,),
+        kwargs={"n_factors": config.n_factors, "n_epochs": config.n_epochs, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    report_writer(
+        "ablation_space_construction",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("ratings", corpus.ratings.n_ratings),
+                ("items", corpus.ratings.n_items),
+                ("users", corpus.ratings.n_users),
+                ("dimensions", space.n_dimensions),
+            ],
+            title="Ablation: perceptual-space construction input",
+        ),
+    )
+    assert space.n_items == corpus.ratings.n_items
+
+
+def test_ablation_embedding_vs_svd(benchmark, movie_context, repetitions, report_writer):
+    """Euclidean embedding vs. plain SVD item factors as extraction features."""
+    corpus = movie_context.corpus
+    labels = movie_context.reference_labels("Comedy")
+    config = movie_context.config
+
+    def run() -> dict[str, float]:
+        svd = SVDModel(FactorModelConfig(n_factors=config.n_factors, n_epochs=config.n_epochs, seed=1))
+        svd.fit(corpus.ratings)
+        svd_space = svd.to_space()
+        scores = {}
+        for name, space in (("euclidean", movie_context.space), ("svd", svd_space)):
+            values = []
+            for repetition in range(repetitions):
+                positives, negatives = sample_balanced_training_set(
+                    {i: l for i, l in labels.items() if i in space}, 40, seed=repetition
+                )
+                gold = {i: True for i in positives}
+                gold.update({i: False for i in negatives})
+                extraction = PerceptualAttributeExtractor(space, seed=repetition).extract_boolean(
+                    "is_comedy", gold
+                )
+                ids = [i for i in labels if i in extraction.values]
+                truth = np.array([labels[i] for i in ids])
+                predictions = np.array([extraction.values[i] for i in ids])
+                values.append(g_mean(truth, predictions))
+            scores[name] = float(np.mean(values))
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_writer(
+        "ablation_embedding_vs_svd",
+        format_table(
+            ["space", "g-mean (Comedy, n=40)"],
+            [(name, value) for name, value in scores.items()],
+            title="Ablation: factor model behind the perceptual space",
+        ),
+    )
+    assert scores["euclidean"] > 0.6
+
+
+def test_ablation_extractor_training_cost(benchmark, movie_context, report_writer):
+    """Per-retraining cost of the SVM extractor (Experiment 4 inner loop)."""
+    labels = movie_context.reference_labels("Comedy")
+    usable = {i: l for i, l in labels.items() if i in movie_context.space}
+    positives, negatives = sample_balanced_training_set(usable, 100, seed=0)
+    gold = {i: True for i in positives}
+    gold.update({i: False for i in negatives})
+    extractor = PerceptualAttributeExtractor(movie_context.space, seed=0)
+
+    result = benchmark(extractor.extract_boolean, "is_comedy", gold)
+    assert len(result.values) == movie_context.space.n_items
+    report_writer(
+        "ablation_extractor_cost",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("training size", len(gold)),
+                ("items classified", len(result.values)),
+            ],
+            title="Ablation: extractor retraining step",
+        ),
+    )
+
+
+def test_ablation_sql_engine_throughput(benchmark, movie_context, report_writer):
+    """Query latency of the crowd database on the workload's query shapes."""
+    db = CrowdDatabase()
+    db.execute(
+        "CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT, year INTEGER, is_comedy BOOLEAN)"
+    )
+    labels = movie_context.reference_labels("Comedy")
+    db.insert_rows(
+        "movies",
+        [
+            {
+                "item_id": record["item_id"],
+                "name": record["name"],
+                "year": record["year"],
+                "is_comedy": labels.get(record["item_id"], False),
+            }
+            for record in movie_context.corpus.items
+        ],
+    )
+
+    def workload() -> int:
+        total = 0
+        total += db.execute("SELECT count(*) FROM movies WHERE is_comedy = true").scalar()
+        total += len(db.execute("SELECT name FROM movies WHERE year > 1990 ORDER BY year DESC LIMIT 20"))
+        total += len(db.execute(
+            "SELECT year, count(*) AS n FROM movies GROUP BY year HAVING count(*) > 2 ORDER BY n DESC"
+        ))
+        total += len(db.execute("SELECT name FROM movies WHERE item_id = 17"))
+        return total
+
+    total = benchmark(workload)
+    assert total > 0
+    report_writer(
+        "ablation_sql_engine",
+        format_table(
+            ["quantity", "value"],
+            [("rows in movies", len(movie_context.corpus.items)), ("workload result size", total)],
+            title="Ablation: SQL engine workload",
+        ),
+    )

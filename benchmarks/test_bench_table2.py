@@ -1,0 +1,28 @@
+"""Benchmark: Table 2 — nearest neighbours of example items in the space.
+
+Regenerates the three columns (anchor item + five nearest neighbours) and
+reports the neighbourhood label purity as the quantitative counterpart of
+the paper's qualitative "the neighbours make sense" observation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.neighbors import run_nearest_neighbor_showcase
+from repro.experiments.reporting import render_table2
+
+
+def test_table2_nearest_neighbors(benchmark, movie_context, report_writer):
+    """Reproduce Table 2 and benchmark the nearest-neighbour queries."""
+    columns, purity = benchmark.pedantic(
+        run_nearest_neighbor_showcase,
+        args=(movie_context,),
+        kwargs={"n_anchors": 3, "k": 5},
+        rounds=1,
+        iterations=1,
+    )
+    report_writer("table2_nearest_neighbors", render_table2(columns, purity))
+
+    assert len(columns) == 3
+    assert all(len(column.neighbors) == 5 for column in columns)
+    # The space must encode label structure better than random guessing.
+    assert purity > 0.55

@@ -1,0 +1,41 @@
+"""Benchmark: Table 4 — automatic identification of questionable HIT responses.
+
+Regenerates the precision/recall pairs for x in {5, 10, 20} % swapped labels,
+for the perceptual space and the metadata space.  Expected shape: recall
+stays high across noise levels and precision grows with the noise rate; the
+metadata space is far worse on both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.questionable import run_questionable_experiment
+from repro.experiments.reporting import render_table4
+
+NOISE_LEVELS = (0.05, 0.10, 0.20)
+
+
+def test_table4_questionable_responses(benchmark, movie_context, repetitions, report_writer):
+    """Reproduce Table 4 and benchmark the detector sweep."""
+    rows = benchmark.pedantic(
+        run_questionable_experiment,
+        args=(movie_context,),
+        kwargs={
+            "noise_levels": NOISE_LEVELS,
+            "n_repetitions": max(1, repetitions - 1),
+            "seed": 29,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report_writer("table4_questionable_responses", render_table4(rows))
+
+    mean_row = rows[-1]
+    precision_20, recall_20 = mean_row.perceptual[20]
+    precision_5, _recall_5 = mean_row.perceptual[5]
+    _meta_precision, meta_recall = mean_row.metadata[20]
+    # Most planted errors are found, and flags are much more precise at
+    # higher corruption rates (the paper reports 0.46 -> 0.73 precision).
+    assert recall_20 > 0.5
+    assert precision_20 > precision_5
+    # The metadata space misses most of them.
+    assert meta_recall < recall_20

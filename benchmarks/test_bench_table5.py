@@ -1,0 +1,36 @@
+"""Benchmark: Table 5 — schema expansion for the restaurant domain.
+
+Regenerates the per-category g-means for n in {10, 20, 40} on the synthetic
+yelp-like corpus.  Expected shape: well above random, growing with n, but
+somewhat lower than the movie domain (Table 3), as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.other_domains import run_other_domain_experiment
+from repro.experiments.reporting import render_other_domain_table
+
+N_VALUES = (10, 20, 40)
+
+
+def test_table5_restaurants(benchmark, repetitions, report_writer):
+    """Reproduce Table 5 and benchmark the restaurant-domain sweep."""
+    rows = benchmark.pedantic(
+        run_other_domain_experiment,
+        args=("restaurants",),
+        kwargs={"n_values": N_VALUES, "n_repetitions": repetitions, "seed": 41},
+        rounds=1,
+        iterations=1,
+    )
+    report_writer(
+        "table5_restaurants",
+        render_other_domain_table(rows, title="Table 5. Results for restaurants (g-mean)"),
+    )
+
+    mean_row = rows[-1]
+    assert mean_row.category == "Mean"
+    assert mean_row.gmeans[40] > 0.6
+    assert mean_row.gmeans[40] >= mean_row.gmeans[10] - 0.02
+    assert not np.isnan(mean_row.gmeans[20])

@@ -1,0 +1,72 @@
+"""repro — crowd-enabled databases with query-driven schema expansion.
+
+A from-scratch reproduction of Selke, Lofi and Balke, "Pushing the
+Boundaries of Crowd-enabled Databases with Query-driven Schema Expansion"
+(PVLDB 5(6), 2012).
+
+Subpackages
+-----------
+``repro.db``
+    Crowd-enabled relational database (SQL front end, MISSING values,
+    crowd-backed operators).
+``repro.crowd``
+    Simulated crowd-sourcing platform (HITs, worker archetypes, quality
+    control, cost/time accounting).
+``repro.perceptual``
+    Perceptual spaces built from rating data (Euclidean-embedding factor
+    model, SVD baseline, nearest-neighbour queries).
+``repro.learn``
+    Machine-learning substrate (SVM/SVR/TSVM, LSI, metrics) — implemented
+    on numpy because scikit-learn is not a dependency.
+``repro.datasets``
+    Synthetic Social-Web corpora standing in for Netflix/IMDb, yelp.com and
+    boardgamegeek.com data.
+``repro.core``
+    The paper's contribution: query-driven schema expansion (gold samples,
+    extraction, expansion policies, questionable-response detection).
+``repro.experiments``
+    Harness reproducing every table and figure of the evaluation section.
+
+Quickstart
+----------
+>>> from repro.db import CrowdDatabase
+>>> db = CrowdDatabase()
+>>> _ = db.execute("CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT)")
+
+See ``examples/quickstart.py`` for the full end-to-end workflow.
+"""
+
+from repro.core import (
+    DirectCrowdPolicy,
+    GoldSampleCollector,
+    HybridPolicy,
+    PerceptualAttributeExtractor,
+    PerceptualSpacePolicy,
+    QuestionableResponseDetector,
+    SchemaExpander,
+)
+from repro.crowd import CrowdPlatform, WorkerPool
+from repro.db import CrowdDatabase
+from repro.errors import ReproError
+from repro.perceptual import EuclideanEmbeddingModel, PerceptualSpace, RatingDataset, SVDModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrowdDatabase",
+    "CrowdPlatform",
+    "DirectCrowdPolicy",
+    "EuclideanEmbeddingModel",
+    "GoldSampleCollector",
+    "HybridPolicy",
+    "PerceptualAttributeExtractor",
+    "PerceptualSpace",
+    "PerceptualSpacePolicy",
+    "QuestionableResponseDetector",
+    "RatingDataset",
+    "ReproError",
+    "SVDModel",
+    "SchemaExpander",
+    "WorkerPool",
+    "__version__",
+]

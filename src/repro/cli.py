@@ -1,0 +1,229 @@
+"""Command-line interface for the reproduction package.
+
+Three entry points::
+
+    python -m repro demo                     # end-to-end schema expansion demo
+    python -m repro experiment table3        # regenerate one paper table/figure
+    python -m repro build-space out.npz      # build + persist a perceptual space
+
+The experiment command accepts ``--scale small|default`` so the paper
+tables can be regenerated quickly (small) or at the standard benchmark
+scale (default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+#: Experiment identifiers accepted by ``python -m repro experiment``.
+EXPERIMENT_CHOICES = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "figure3",
+    "figure4",
+    "tsvm",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Crowd-enabled databases with query-driven schema expansion "
+            "(reproduction of Selke, Lofi, Balke, VLDB 2012)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run the end-to-end schema-expansion demo")
+    demo.add_argument("--movies", type=int, default=300, help="number of synthetic movies")
+    demo.add_argument("--seed", type=int, default=7, help="random seed")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables or figures"
+    )
+    experiment.add_argument("name", choices=EXPERIMENT_CHOICES, help="experiment to run")
+    experiment.add_argument(
+        "--scale", choices=("small", "default"), default="small", help="corpus scale"
+    )
+    experiment.add_argument(
+        "--repetitions", type=int, default=2, help="random repetitions per cell"
+    )
+
+    build_space = subparsers.add_parser(
+        "build-space", help="build a synthetic corpus and persist its perceptual space"
+    )
+    build_space.add_argument("output", help="output path for the .npz space archive")
+    build_space.add_argument("--movies", type=int, default=500)
+    build_space.add_argument("--users", type=int, default=1200)
+    build_space.add_argument("--factors", type=int, default=24)
+    build_space.add_argument("--epochs", type=int, default=20)
+    build_space.add_argument("--seed", type=int, default=0)
+    build_space.add_argument(
+        "--ratings-output", default=None, help="optional path to also persist the rating data"
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def _run_demo(args: argparse.Namespace) -> int:
+    from repro.core import GoldSampleCollector, PerceptualSpacePolicy, SchemaExpander
+    from repro.crowd import CrowdPlatform, WorkerPool
+    from repro.datasets import build_movie_corpus
+    from repro.db import CrowdDatabase
+    from repro.perceptual import EuclideanEmbeddingModel, FactorModelConfig
+
+    corpus = build_movie_corpus(n_movies=args.movies, n_users=args.movies * 2, seed=args.seed)
+    print(f"Built corpus: {corpus.summary()}")
+
+    db = CrowdDatabase()
+    db.execute("CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT, year INTEGER)")
+    db.insert_rows(
+        "movies",
+        [{"item_id": r["item_id"], "name": r["name"], "year": r["year"]} for r in corpus.items],
+    )
+
+    model = EuclideanEmbeddingModel(FactorModelConfig(n_factors=16, n_epochs=15, seed=args.seed))
+    model.fit(corpus.ratings)
+    space = model.to_space()
+    print(f"Built perceptual space: {space}")
+
+    platform = CrowdPlatform(seed=args.seed)
+    pool = WorkerPool.build(n_honest=25, n_experts=10, n_spammers=10, seed=args.seed)
+    collector = GoldSampleCollector(platform, pool.only_trusted(), seed=args.seed)
+    policy = PerceptualSpacePolicy(space, collector, gold_sample_size=60, seed=args.seed)
+    expander = SchemaExpander(
+        db,
+        policy,
+        key_column="item_id",
+        truth={"is_comedy": corpus.labels_for("Comedy")},
+    )
+    expander.attach()
+
+    result = db.execute(
+        "SELECT name, year FROM movies WHERE is_comedy = true ORDER BY year DESC LIMIT 5"
+    )
+    print("\nTop comedies after query-driven schema expansion:")
+    for name, year in result.rows:
+        print(f"  {name} ({year})")
+    report = expander.reports[0]
+    print(
+        f"\nFilled {report.rows_filled}/{report.rows_total} rows for ${report.cost:.2f} "
+        f"in {report.minutes:.0f} simulated minutes ({report.judgments} judgments)."
+    )
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import reporting
+    from repro.experiments.boosting import run_boosting_experiments
+    from repro.experiments.context import MovieExperimentConfig, get_movie_context
+    from repro.experiments.crowd_quality import run_crowd_quality_experiments
+    from repro.experiments.neighbors import run_nearest_neighbor_showcase
+    from repro.experiments.other_domains import run_other_domain_experiment, small_scale
+    from repro.experiments.questionable import run_questionable_experiment
+    from repro.experiments.small_samples import run_small_sample_experiment
+    from repro.experiments.tsvm_comparison import run_tsvm_comparison
+    from repro.utils.tables import format_table
+
+    name = args.name
+    repetitions = max(1, args.repetitions)
+
+    if name in ("table5", "table6"):
+        domain = "restaurants" if name == "table5" else "board_games"
+        scale = small_scale(domain) if args.scale == "small" else None
+        rows = run_other_domain_experiment(
+            domain, n_repetitions=repetitions, scale=scale
+        )
+        title = "Table 5. Results for restaurants" if name == "table5" else "Table 6. Results for board games"
+        print(reporting.render_other_domain_table(rows, title=title))
+        return 0
+
+    config = (
+        MovieExperimentConfig.small() if args.scale == "small" else MovieExperimentConfig()
+    )
+    context = get_movie_context(config)
+
+    if name == "table1":
+        outcome = run_crowd_quality_experiments(context)
+        print(reporting.render_table1(outcome.rows))
+    elif name == "table2":
+        columns, purity = run_nearest_neighbor_showcase(context)
+        print(reporting.render_table2(columns, purity))
+    elif name == "table3":
+        rows = run_small_sample_experiment(context, n_repetitions=repetitions)
+        print(reporting.render_table3(rows))
+    elif name == "table4":
+        rows = run_questionable_experiment(context, n_repetitions=repetitions)
+        print(reporting.render_table4(rows))
+    elif name in ("figure3", "figure4"):
+        outcome = run_crowd_quality_experiments(context)
+        series = run_boosting_experiments(context, outcome)
+        if name == "figure3":
+            print(reporting.render_boosting_series(series))
+        else:
+            rows = []
+            for entry in series:
+                for cost, crowd_correct, boosted_correct in entry.correct_over_money():
+                    rows.append((entry.experiment, round(cost, 2), crowd_correct, boosted_correct))
+            print(
+                format_table(
+                    ["Experiment", "cost ($)", "crowd correct", "boosted correct"], rows
+                )
+            )
+    elif name == "tsvm":
+        rows = run_tsvm_comparison(context)
+        print(reporting.render_tsvm_rows(rows))
+    return 0
+
+
+def _run_build_space(args: argparse.Namespace) -> int:
+    from repro.datasets import build_movie_corpus
+    from repro.perceptual import (
+        EuclideanEmbeddingModel,
+        FactorModelConfig,
+        save_ratings,
+        save_space,
+    )
+
+    corpus = build_movie_corpus(n_movies=args.movies, n_users=args.users, seed=args.seed)
+    model = EuclideanEmbeddingModel(
+        FactorModelConfig(n_factors=args.factors, n_epochs=args.epochs, seed=args.seed)
+    )
+    model.fit(corpus.ratings)
+    space = model.to_space().with_metadata(corpus=corpus.name, seed=args.seed)
+    path = save_space(space, args.output)
+    print(f"Wrote perceptual space ({space.n_items} items, d={space.n_dimensions}) to {path}")
+    if args.ratings_output:
+        ratings_path = save_ratings(corpus.ratings, args.ratings_output)
+        print(f"Wrote rating data ({corpus.ratings.n_ratings} ratings) to {ratings_path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return _run_demo(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    if args.command == "build-space":
+        return _run_build_space(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

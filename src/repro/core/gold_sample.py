@@ -1,0 +1,179 @@
+"""Gold-sample collection via the crowd.
+
+Section 3.4: "This is best implemented by providing a gold sample; i.e. for
+a small set of [items], the correct judgment of the desired attribute is
+provided by human experts.  This task can easily be crowd-sourced using the
+default capabilities of a crowd-enabled DBMS.  [...] trusted workers should
+be used [and] result quality should be controlled using majority votes."
+
+:class:`GoldSampleCollector` does exactly that against the simulated crowd
+platform: it samples a small set of items, dispatches a HIT group to a
+(typically trusted/filtered) worker pool, majority-votes the answers and
+returns the labelled sample together with its cost and duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.crowd.aggregation import MajorityVote
+from repro.crowd.hit import HITGroup, Question, make_task_items
+from repro.crowd.platform import CrowdPlatform, CrowdRunResult
+from repro.crowd.quality_control import QualityControl
+from repro.crowd.worker import WorkerPool
+from repro.errors import ExpansionError
+from repro.utils.rng import RandomState, spawn_rng
+
+
+@dataclass
+class GoldSample:
+    """A small, high-quality labelled sample for one attribute."""
+
+    attribute: str
+    labels: dict[int, bool]
+    cost: float
+    minutes: float
+    judgments_used: int
+    run: CrowdRunResult | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def positive_ids(self) -> list[int]:
+        """Items labelled positive."""
+        return [item_id for item_id, label in self.labels.items() if label]
+
+    @property
+    def negative_ids(self) -> list[int]:
+        """Items labelled negative."""
+        return [item_id for item_id, label in self.labels.items() if not label]
+
+    def is_balanced(self, *, minimum_per_class: int = 1) -> bool:
+        """True if both classes have at least *minimum_per_class* members."""
+        return (
+            len(self.positive_ids) >= minimum_per_class
+            and len(self.negative_ids) >= minimum_per_class
+        )
+
+
+class GoldSampleCollector:
+    """Collects gold samples by dispatching small HIT groups."""
+
+    def __init__(
+        self,
+        platform: CrowdPlatform,
+        pool: WorkerPool,
+        *,
+        quality_control: QualityControl | None = None,
+        judgments_per_item: int = 5,
+        items_per_hit: int = 10,
+        payment_per_hit: float = 0.02,
+        seed: RandomState = None,
+    ) -> None:
+        if judgments_per_item <= 0:
+            raise ExpansionError("judgments_per_item must be positive")
+        self.platform = platform
+        self.pool = pool
+        self.quality_control = quality_control or QualityControl.none()
+        self.judgments_per_item = judgments_per_item
+        self.items_per_hit = items_per_hit
+        self.payment_per_hit = payment_per_hit
+        self._seed = seed
+
+    def collect(
+        self,
+        attribute: str,
+        candidate_items: Sequence[int],
+        truth: Mapping[int, bool],
+        *,
+        sample_size: int = 100,
+        prompt: str | None = None,
+    ) -> GoldSample:
+        """Crowd-source judgments for a random sample of *candidate_items*.
+
+        *truth* drives the simulated workers; the collector itself never
+        looks at it directly.  Items whose majority vote is a tie or that
+        received no informative judgment are dropped from the sample.
+        """
+        if not candidate_items:
+            raise ExpansionError("cannot collect a gold sample from zero candidate items")
+        rng = spawn_rng(self._seed, "gold-sample", attribute)
+        sample_size = min(sample_size, len(candidate_items))
+        chosen = [int(i) for i in rng.choice(sorted(candidate_items), size=sample_size, replace=False)]
+
+        question = Question(
+            attribute=attribute,
+            prompt=prompt or f"Does the item have the property {attribute!r}?",
+            allow_dont_know=True,
+        )
+        group = HITGroup(
+            question=question,
+            items=make_task_items(chosen),
+            judgments_per_item=self.judgments_per_item,
+            items_per_hit=self.items_per_hit,
+            payment_per_hit=self.payment_per_hit,
+        )
+        run = self.platform.run_group(
+            group, self.pool, quality_control=self.quality_control, truth=truth
+        )
+        labels = MajorityVote().labels(run.judgments)
+        return GoldSample(
+            attribute=attribute,
+            labels=labels,
+            cost=run.total_cost,
+            minutes=run.completion_minutes,
+            judgments_used=len(run.judgments),
+            run=run,
+        )
+
+    def collect_balanced(
+        self,
+        attribute: str,
+        candidate_items: Sequence[int],
+        truth: Mapping[int, bool],
+        *,
+        sample_size: int = 100,
+        max_rounds: int = 4,
+        prompt: str | None = None,
+    ) -> GoldSample:
+        """Collect a gold sample, retrying with more items until both classes appear.
+
+        Rare attributes (e.g. Documentary at ~8 % prevalence) may produce a
+        one-sided sample on the first draw; each retry doubles the sample.
+        """
+        total_cost = 0.0
+        total_minutes = 0.0
+        total_judgments = 0
+        labels: dict[int, bool] = {}
+        size = sample_size
+        last_run: CrowdRunResult | None = None
+        for _ in range(max_rounds):
+            sample = self.collect(
+                attribute, candidate_items, truth, sample_size=size, prompt=prompt
+            )
+            labels.update(sample.labels)
+            total_cost += sample.cost
+            total_minutes += sample.minutes
+            total_judgments += sample.judgments_used
+            last_run = sample.run
+            merged = GoldSample(
+                attribute=attribute,
+                labels=labels,
+                cost=total_cost,
+                minutes=total_minutes,
+                judgments_used=total_judgments,
+                run=last_run,
+            )
+            if merged.is_balanced(minimum_per_class=3):
+                return merged
+            size = min(len(candidate_items), size * 2)
+        return GoldSample(
+            attribute=attribute,
+            labels=labels,
+            cost=total_cost,
+            minutes=total_minutes,
+            judgments_used=total_judgments,
+            run=last_run,
+        )

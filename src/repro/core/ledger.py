@@ -1,0 +1,94 @@
+"""Cost/time ledger for schema-expansion runs.
+
+Keeps the same accounting the paper reports for its experiments: how many
+HIT judgments were issued, how much money was spent and how much simulated
+wall-clock time elapsed, broken down by expansion step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One accounted step of an expansion run."""
+
+    step: str
+    attribute: str
+    cost: float
+    minutes: float
+    judgments: int
+    values_obtained: int
+
+
+@dataclass
+class ExpansionLedger:
+    """Accumulates :class:`LedgerEntry` records for one or more expansions."""
+
+    entries: list[LedgerEntry] = field(default_factory=list)
+
+    def record(
+        self,
+        step: str,
+        attribute: str,
+        *,
+        cost: float = 0.0,
+        minutes: float = 0.0,
+        judgments: int = 0,
+        values_obtained: int = 0,
+    ) -> LedgerEntry:
+        """Add an entry and return it."""
+        entry = LedgerEntry(
+            step=step,
+            attribute=attribute,
+            cost=float(cost),
+            minutes=float(minutes),
+            judgments=int(judgments),
+            values_obtained=int(values_obtained),
+        )
+        self.entries.append(entry)
+        return entry
+
+    # -- aggregation -----------------------------------------------------------------
+
+    @property
+    def total_cost(self) -> float:
+        """Total money spent across all recorded steps."""
+        return sum(entry.cost for entry in self.entries)
+
+    @property
+    def total_minutes(self) -> float:
+        """Total simulated minutes across all recorded steps."""
+        return sum(entry.minutes for entry in self.entries)
+
+    @property
+    def total_judgments(self) -> int:
+        """Total crowd judgments issued across all recorded steps."""
+        return sum(entry.judgments for entry in self.entries)
+
+    @property
+    def total_values_obtained(self) -> int:
+        """Total attribute values written to the database."""
+        return sum(entry.values_obtained for entry in self.entries)
+
+    def for_attribute(self, attribute: str) -> list[LedgerEntry]:
+        """All entries recorded for one attribute."""
+        return [entry for entry in self.entries if entry.attribute == attribute]
+
+    def cost_per_value(self) -> float:
+        """Average money spent per obtained value (0 if nothing was obtained)."""
+        values = self.total_values_obtained
+        if values == 0:
+            return 0.0
+        return self.total_cost / values
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate figures, ready for printing in reports."""
+        return {
+            "total_cost": self.total_cost,
+            "total_minutes": self.total_minutes,
+            "total_judgments": float(self.total_judgments),
+            "total_values_obtained": float(self.total_values_obtained),
+            "cost_per_value": self.cost_per_value(),
+        }

@@ -1,0 +1,179 @@
+"""The schema expander: wiring expansion policies into the crowd database.
+
+:class:`SchemaExpander` registers itself as the expansion handler of a
+:class:`~repro.db.database.CrowdDatabase`.  When a query references a
+perceptual attribute that does not exist, the expander
+
+1. adds the column (MISSING everywhere),
+2. maps the table's rows to perceptual-space item ids via a key column,
+3. asks its :class:`~repro.core.policies.ExpansionPolicy` for the values,
+4. writes them back, records cost/time in the ledger, and
+5. signals the database to re-run the query.
+
+Expansion can also be invoked explicitly via :meth:`expand_attribute`, which
+is what the experiment harness does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.ledger import ExpansionLedger
+from repro.core.policies import ExpansionPolicy, PolicyResult
+from repro.db.database import CrowdDatabase
+from repro.db.types import ColumnType, is_missing
+from repro.errors import ExpansionError
+
+
+@dataclass
+class ExpansionReport:
+    """Summary of one attribute expansion."""
+
+    table: str
+    attribute: str
+    rows_total: int
+    rows_filled: int
+    cost: float
+    minutes: float
+    judgments: int
+    policy_details: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of rows that received a value."""
+        if self.rows_total == 0:
+            return 1.0
+        return self.rows_filled / self.rows_total
+
+
+class SchemaExpander:
+    """Performs query-driven schema expansion on one database table.
+
+    Parameters
+    ----------
+    database:
+        The crowd database to operate on.
+    policy:
+        The strategy used to obtain missing values.
+    key_column:
+        Column mapping rows to perceptual-space / ground-truth item ids
+        (e.g. ``movie_id``).
+    truth:
+        ``attribute -> {item_id: bool}`` ground truth used to drive the
+        simulated crowd workers.  In a live deployment this would not
+        exist; it is the simulation's stand-in for the crowd's knowledge.
+    allowed_attributes:
+        Optional whitelist of attributes the expander may create; queries
+        referencing other unknown columns fail as usual.  Purely factual
+        attributes (e.g. email addresses) should not be listed — the paper
+        notes they cannot be derived from rating behaviour.
+    """
+
+    def __init__(
+        self,
+        database: CrowdDatabase,
+        policy: ExpansionPolicy,
+        *,
+        key_column: str = "item_id",
+        truth: Mapping[str, Mapping[int, bool]] | None = None,
+        allowed_attributes: set[str] | None = None,
+        column_type: ColumnType = ColumnType.BOOLEAN,
+        ledger: ExpansionLedger | None = None,
+    ) -> None:
+        self.database = database
+        self.policy = policy
+        self.key_column = key_column
+        self.truth = {k: dict(v) for k, v in (truth or {}).items()}
+        self.allowed_attributes = (
+            {a.lower() for a in allowed_attributes} if allowed_attributes is not None else None
+        )
+        self.column_type = column_type
+        self.ledger = ledger or ExpansionLedger()
+        self.reports: list[ExpansionReport] = []
+
+    # -- database hook --------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Register this expander as the database's expansion handler."""
+        self.database.set_expansion_handler(self.handle_unknown_column)
+
+    def handle_unknown_column(self, table: str, column: str) -> bool:
+        """Expansion-handler callback: expand *column* of *table* if allowed."""
+        attribute = column.lower()
+        if self.allowed_attributes is not None and attribute not in self.allowed_attributes:
+            return False
+        try:
+            self.expand_attribute(table, attribute)
+        except ExpansionError:
+            return False
+        return True
+
+    # -- explicit expansion -----------------------------------------------------------
+
+    def expand_attribute(self, table: str, attribute: str) -> ExpansionReport:
+        """Add *attribute* to *table* and fill it via the expansion policy."""
+        attribute = attribute.lower()
+        storage = self.database.table(table)
+        if attribute not in storage.schema:
+            self.database.add_perceptual_column(table, attribute, self.column_type)
+
+        rowid_to_item = self._rowid_to_item_map(table)
+        item_ids = sorted(set(rowid_to_item.values()))
+        if not item_ids:
+            raise ExpansionError(
+                f"table {table!r} has no usable {self.key_column!r} values to expand on"
+            )
+
+        truth = self.truth.get(attribute, {})
+        result = self.policy.expand(attribute, item_ids, truth)
+        rows_filled = self._write_back(table, attribute, rowid_to_item, result)
+
+        report = ExpansionReport(
+            table=table,
+            attribute=attribute,
+            rows_total=len(rowid_to_item),
+            rows_filled=rows_filled,
+            cost=result.cost,
+            minutes=result.minutes,
+            judgments=result.judgments,
+            policy_details=dict(result.details),
+        )
+        self.reports.append(report)
+        self.ledger.record(
+            step=str(result.details.get("policy", type(self.policy).__name__)),
+            attribute=attribute,
+            cost=result.cost,
+            minutes=result.minutes,
+            judgments=result.judgments,
+            values_obtained=rows_filled,
+        )
+        return report
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _rowid_to_item_map(self, table: str) -> dict[int, int]:
+        storage = self.database.table(table)
+        key = storage.schema.column(self.key_column).name
+        mapping: dict[int, int] = {}
+        for rowid, row in storage.scan():
+            value = row.get(key)
+            if value is None or is_missing(value):
+                continue
+            mapping[rowid] = int(value)
+        return mapping
+
+    def _write_back(
+        self,
+        table: str,
+        attribute: str,
+        rowid_to_item: Mapping[int, int],
+        result: PolicyResult,
+    ) -> int:
+        storage = self.database.table(table)
+        updates = {
+            rowid: result.values[item_id]
+            for rowid, item_id in rowid_to_item.items()
+            if item_id in result.values
+        }
+        return storage.fill_values(attribute, updates)

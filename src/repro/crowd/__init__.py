@@ -1,0 +1,53 @@
+"""Simulated crowd-sourcing platform (CrowdFlower / Mechanical Turk stand-in).
+
+The paper's experiments dispatch HIT groups to a crowd-sourcing service and
+measure answer quality, wall-clock time and cost.  This package provides a
+discrete-event simulation of such a service with configurable worker
+populations (honest workers, spammers, lookup workers), quality-control
+policies (country exclusion, gold questions, trusted pools) and the same
+accounting the paper reports (judgments per minute, dollars spent).
+"""
+
+from repro.crowd.aggregation import MajorityVote, VoteOutcome, WeightedVote
+from repro.crowd.cost import CostModel, SpendingLedger
+from repro.crowd.hit import HIT, Answer, HITGroup, Judgment, Question
+from repro.crowd.platform import CrowdPlatform, CrowdRunResult
+from repro.crowd.quality_control import (
+    CountryFilter,
+    GoldQuestionPolicy,
+    QualityControl,
+    TrustedWorkerPolicy,
+)
+from repro.crowd.worker import (
+    WorkerArchetype,
+    WorkerPool,
+    WorkerProfile,
+    make_honest_worker,
+    make_lookup_worker,
+    make_spam_worker,
+)
+
+__all__ = [
+    "Answer",
+    "CostModel",
+    "CountryFilter",
+    "CrowdPlatform",
+    "CrowdRunResult",
+    "GoldQuestionPolicy",
+    "HIT",
+    "HITGroup",
+    "Judgment",
+    "MajorityVote",
+    "QualityControl",
+    "Question",
+    "SpendingLedger",
+    "TrustedWorkerPolicy",
+    "VoteOutcome",
+    "WeightedVote",
+    "WorkerArchetype",
+    "WorkerPool",
+    "WorkerProfile",
+    "make_honest_worker",
+    "make_lookup_worker",
+    "make_spam_worker",
+]

@@ -1,0 +1,208 @@
+"""Aggregating conflicting worker judgments into a single answer.
+
+The paper uses plain majority voting that ignores "don't know" answers;
+ties and items without any informative judgment remain *unclassified*.
+A confidence-weighted variant is provided as well, since the related-work
+section points at extensions of the majority scheme.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.crowd.hit import Answer, Judgment
+
+
+@dataclass(frozen=True)
+class VoteOutcome:
+    """Aggregated verdict for one item."""
+
+    item_id: int
+    label: bool | None
+    positive_votes: int
+    negative_votes: int
+    dont_know_votes: int
+
+    @property
+    def classified(self) -> bool:
+        """True if a clear majority produced a label."""
+        return self.label is not None
+
+    @property
+    def total_votes(self) -> int:
+        """All votes cast on the item (including "don't know")."""
+        return self.positive_votes + self.negative_votes + self.dont_know_votes
+
+    @property
+    def margin(self) -> int:
+        """Absolute difference between positive and negative votes."""
+        return abs(self.positive_votes - self.negative_votes)
+
+
+def group_judgments(judgments: Iterable[Judgment]) -> dict[int, list[Judgment]]:
+    """Group judgments by item id."""
+    grouped: dict[int, list[Judgment]] = defaultdict(list)
+    for judgment in judgments:
+        grouped[judgment.item_id].append(judgment)
+    return dict(grouped)
+
+
+class MajorityVote:
+    """Majority vote ignoring "don't know" answers; ties stay unclassified."""
+
+    def __init__(self, *, minimum_votes: int = 1) -> None:
+        if minimum_votes < 1:
+            raise ValueError("minimum_votes must be at least 1")
+        self.minimum_votes = minimum_votes
+
+    def aggregate_item(self, item_id: int, judgments: Sequence[Judgment]) -> VoteOutcome:
+        """Aggregate the judgments of a single item."""
+        counts = Counter(judgment.answer for judgment in judgments)
+        positive = counts.get(Answer.POSITIVE, 0)
+        negative = counts.get(Answer.NEGATIVE, 0)
+        dont_know = counts.get(Answer.DONT_KNOW, 0)
+        label: bool | None
+        if positive + negative < self.minimum_votes:
+            label = None
+        elif positive > negative:
+            label = True
+        elif negative > positive:
+            label = False
+        else:
+            label = None
+        return VoteOutcome(
+            item_id=item_id,
+            label=label,
+            positive_votes=positive,
+            negative_votes=negative,
+            dont_know_votes=dont_know,
+        )
+
+    def aggregate(self, judgments: Iterable[Judgment]) -> dict[int, VoteOutcome]:
+        """Aggregate all judgments, returning one outcome per item."""
+        return {
+            item_id: self.aggregate_item(item_id, item_judgments)
+            for item_id, item_judgments in group_judgments(judgments).items()
+        }
+
+    def labels(self, judgments: Iterable[Judgment]) -> dict[int, bool]:
+        """Return only the items that received a clear majority label."""
+        return {
+            item_id: outcome.label
+            for item_id, outcome in self.aggregate(judgments).items()
+            if outcome.label is not None
+        }
+
+
+class WeightedVote:
+    """Majority vote weighting each worker by an externally supplied trust score.
+
+    Workers without a score receive ``default_weight``.  Scores would
+    typically come from gold-question performance or historical agreement.
+    """
+
+    def __init__(
+        self,
+        worker_weights: Mapping[int, float] | None = None,
+        *,
+        default_weight: float = 1.0,
+    ) -> None:
+        if default_weight < 0:
+            raise ValueError("default_weight must be non-negative")
+        self._weights = dict(worker_weights or {})
+        self.default_weight = default_weight
+
+    def weight_of(self, worker_id: int) -> float:
+        """Return the voting weight of *worker_id*."""
+        return self._weights.get(worker_id, self.default_weight)
+
+    def aggregate_item(self, item_id: int, judgments: Sequence[Judgment]) -> VoteOutcome:
+        """Aggregate one item's judgments using worker weights."""
+        positive_weight = 0.0
+        negative_weight = 0.0
+        positive = negative = dont_know = 0
+        for judgment in judgments:
+            if judgment.answer is Answer.POSITIVE:
+                positive += 1
+                positive_weight += self.weight_of(judgment.worker_id)
+            elif judgment.answer is Answer.NEGATIVE:
+                negative += 1
+                negative_weight += self.weight_of(judgment.worker_id)
+            else:
+                dont_know += 1
+        if positive_weight > negative_weight:
+            label: bool | None = True
+        elif negative_weight > positive_weight:
+            label = False
+        else:
+            label = None
+        return VoteOutcome(
+            item_id=item_id,
+            label=label,
+            positive_votes=positive,
+            negative_votes=negative,
+            dont_know_votes=dont_know,
+        )
+
+    def aggregate(self, judgments: Iterable[Judgment]) -> dict[int, VoteOutcome]:
+        """Aggregate all judgments, returning one outcome per item."""
+        return {
+            item_id: self.aggregate_item(item_id, item_judgments)
+            for item_id, item_judgments in group_judgments(judgments).items()
+        }
+
+
+@dataclass
+class AccuracyReport:
+    """Comparison of aggregated crowd labels against a ground truth."""
+
+    n_items: int
+    n_classified: int
+    n_correct: int
+    per_item: dict[int, bool] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of items that received any label."""
+        return self.n_classified / self.n_items if self.n_items else 0.0
+
+    @property
+    def accuracy_on_classified(self) -> float:
+        """Fraction of labelled items whose label matches the ground truth."""
+        return self.n_correct / self.n_classified if self.n_classified else 0.0
+
+    @property
+    def accuracy_overall(self) -> float:
+        """Correct labels divided by all items (unclassified counts as wrong)."""
+        return self.n_correct / self.n_items if self.n_items else 0.0
+
+
+def score_against_truth(
+    outcomes: Mapping[int, VoteOutcome], truth: Mapping[int, bool]
+) -> AccuracyReport:
+    """Score aggregated outcomes against ground-truth labels.
+
+    Items present in *truth* but missing from *outcomes* count as
+    unclassified; items classified but absent from *truth* are ignored.
+    """
+    n_items = len(truth)
+    n_classified = 0
+    n_correct = 0
+    per_item: dict[int, bool] = {}
+    for item_id, true_label in truth.items():
+        outcome = outcomes.get(item_id)
+        if outcome is None or outcome.label is None:
+            continue
+        n_classified += 1
+        correct = outcome.label == true_label
+        per_item[item_id] = correct
+        if correct:
+            n_correct += 1
+    return AccuracyReport(
+        n_items=n_items,
+        n_classified=n_classified,
+        n_correct=n_correct,
+        per_item=per_item,
+    )

@@ -1,0 +1,37 @@
+"""Synthetic Social-Web corpora used in place of the paper's crawled data.
+
+The paper's experiments use the Netflix Prize rating collection plus expert
+genre labels from IMDb/Netflix/RottenTomatoes, a yelp.com restaurant crawl
+and a boardgamegeek.com crawl.  None of these can be redistributed or
+downloaded offline, so this package generates synthetic corpora with the
+same *structure*: items with latent perceptual traits, users with latent
+preferences, ratings produced by the paper's own perceptual-space rating
+model, factual metadata that is largely independent of the perceptual
+traits, binary perceptual categories derived from the traits, and noisy
+"expert databases" from which a majority-vote reference is built.
+"""
+
+from repro.datasets.boardgames import BOARDGAME_CATEGORIES, build_boardgame_corpus
+from repro.datasets.experts import ExpertDatabase, build_expert_databases, majority_reference
+from repro.datasets.movies import MOVIE_GENRES, build_movie_corpus
+from repro.datasets.restaurants import RESTAURANT_CATEGORIES, build_restaurant_corpus
+from repro.datasets.synthetic import (
+    DomainCorpus,
+    SyntheticWorld,
+    WorldConfig,
+)
+
+__all__ = [
+    "BOARDGAME_CATEGORIES",
+    "DomainCorpus",
+    "ExpertDatabase",
+    "MOVIE_GENRES",
+    "RESTAURANT_CATEGORIES",
+    "SyntheticWorld",
+    "WorldConfig",
+    "build_boardgame_corpus",
+    "build_expert_databases",
+    "build_movie_corpus",
+    "build_restaurant_corpus",
+    "majority_reference",
+]

@@ -1,0 +1,107 @@
+"""Noisy expert databases and the majority-vote reference.
+
+The paper builds its reference data from the genre labels of three expert
+sources (IMDb, Netflix, Rotten Tomatoes) and takes majority votes, noting
+that even the individual sources only reach g-means of 0.91–0.95 against
+that majority.  This module derives analogous noisy expert databases from
+the synthetic ground truth so the same construction — and the same
+reference columns of Table 3 — can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.utils.rng import RandomState, spawn_rng
+
+#: Default per-source label error rates (chosen so each source scores a
+#: g-mean of roughly 0.90–0.95 against the majority vote, as in the paper).
+DEFAULT_EXPERT_ERROR_RATES: dict[str, float] = {
+    "Netflix": 0.055,
+    "RottenTomatoes": 0.035,
+    "IMDb": 0.030,
+}
+
+
+@dataclass(frozen=True)
+class ExpertDatabase:
+    """One expert source: a name and its (noisy) labels per category."""
+
+    name: str
+    labels: dict[str, dict[int, bool]]
+    error_rate: float
+
+    def labels_for(self, category: str) -> dict[int, bool]:
+        """Labels of one category."""
+        if category not in self.labels:
+            raise ReproError(f"expert {self.name!r} has no labels for {category!r}")
+        return dict(self.labels[category])
+
+
+def build_expert_databases(
+    ground_truth: Mapping[str, Mapping[int, bool]],
+    *,
+    error_rates: Mapping[str, float] | None = None,
+    coverage: float = 1.0,
+    seed: RandomState = 0,
+) -> list[ExpertDatabase]:
+    """Derive noisy expert databases from the true labels.
+
+    Each expert flips every label independently with its error rate, and
+    (optionally) only covers a random ``coverage`` fraction of the items —
+    the paper notes that none of the three databases labels every movie.
+    """
+    rates = dict(DEFAULT_EXPERT_ERROR_RATES if error_rates is None else error_rates)
+    if not rates:
+        raise ReproError("at least one expert source is required")
+    if not 0.0 < coverage <= 1.0:
+        raise ReproError("coverage must lie in (0, 1]")
+    experts: list[ExpertDatabase] = []
+    for name, error_rate in rates.items():
+        if not 0.0 <= error_rate < 0.5:
+            raise ReproError(f"expert {name!r}: error rate must be in [0, 0.5)")
+        rng = spawn_rng(seed, "expert", name)
+        labels: dict[str, dict[int, bool]] = {}
+        for category, truth in ground_truth.items():
+            category_labels: dict[int, bool] = {}
+            for item_id, label in truth.items():
+                if coverage < 1.0 and rng.random() > coverage:
+                    continue
+                flipped = bool(label) ^ (rng.random() < error_rate)
+                category_labels[int(item_id)] = flipped
+            labels[category] = category_labels
+        experts.append(ExpertDatabase(name=name, labels=labels, error_rate=error_rate))
+    return experts
+
+
+def majority_reference(
+    experts: Sequence[ExpertDatabase],
+) -> dict[str, dict[int, bool]]:
+    """Majority vote over the expert databases (the paper's reference data).
+
+    Only items labelled by a strict majority of the sources are included;
+    ties are resolved towards the negative class (an item is only assigned
+    a genre if most experts agree).
+    """
+    if not experts:
+        raise ReproError("majority_reference needs at least one expert database")
+    categories = set(experts[0].labels)
+    for expert in experts[1:]:
+        categories &= set(expert.labels)
+    reference: dict[str, dict[int, bool]] = {}
+    for category in sorted(categories):
+        votes: dict[int, list[bool]] = {}
+        for expert in experts:
+            for item_id, label in expert.labels[category].items():
+                votes.setdefault(item_id, []).append(label)
+        quorum = len(experts) / 2.0
+        category_reference = {}
+        for item_id, item_votes in votes.items():
+            if len(item_votes) < quorum:
+                continue
+            positives = sum(item_votes)
+            category_reference[item_id] = positives > len(item_votes) / 2.0
+        reference[category] = category_reference
+    return reference

@@ -1,0 +1,116 @@
+"""Synthetic restaurant corpus (yelp.com stand-in, Section 4.5 / Table 5).
+
+The paper's restaurant data set covers 3,811 San Francisco restaurants with
+626,038 ratings by 128,486 users and ten binary categories curated by human
+editors.  The synthetic corpus mirrors that structure at a reduced scale and
+with a noisier rating signal, reproducing the observation that g-means in
+this domain come out somewhat lower than for movies.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.datasets.synthetic import CategorySpec, DomainCorpus, SyntheticWorld, WorldConfig
+from repro.utils.rng import RandomState, spawn_rng
+
+#: Ten binary restaurant categories with target prevalences.
+RESTAURANT_CATEGORIES: dict[str, float] = {
+    "Ambience: Trendy": 0.18,
+    "Attire: Dressy": 0.12,
+    "Category: Fast Food": 0.15,
+    "Good For Kids": 0.35,
+    "Noise Level: Very Loud": 0.10,
+    "Outdoor Seating": 0.30,
+    "Accepts Reservations": 0.40,
+    "Romantic": 0.14,
+    "Serves Cocktails": 0.33,
+    "Open Late": 0.20,
+}
+
+_CUISINES = (
+    "italian", "mexican", "thai", "sushi", "burger", "vegan", "dim sum",
+    "bbq", "ramen", "mediterranean", "seafood", "diner", "tapas", "pizza",
+)
+_NEIGHBORHOODS = (
+    "Mission", "SoMa", "Richmond", "Sunset", "Marina", "Castro", "Nob Hill",
+    "Chinatown", "Haight", "Dogpatch",
+)
+_NAME_PREFIXES = (
+    "Golden", "Blue", "Little", "Mama's", "Uncle's", "Corner", "Harbor",
+    "Garden", "Lucky", "Twin",
+)
+_NAME_SUFFIXES = (
+    "Kitchen", "Table", "Spoon", "Grill", "House", "Cantina", "Bistro",
+    "Eatery", "Counter", "Room",
+)
+
+
+def _make_metadata(
+    item_ids: list[int], rng: np.random.Generator
+) -> tuple[list[dict[str, Any]], dict[int, str]]:
+    records: list[dict[str, Any]] = []
+    documents: dict[int, str] = {}
+    for item_id in item_ids:
+        name = f"{rng.choice(_NAME_PREFIXES)} {rng.choice(_NAME_SUFFIXES)}"
+        cuisine = str(rng.choice(_CUISINES))
+        neighborhood = str(rng.choice(_NEIGHBORHOODS))
+        price_level = int(rng.integers(1, 5))
+        seats = int(rng.integers(15, 180))
+        founded = int(rng.integers(1975, 2012))
+        record = {
+            "item_id": item_id,
+            "name": name,
+            "cuisine": cuisine,
+            "neighborhood": neighborhood,
+            "price_level": price_level,
+            "seats": seats,
+            "founded": founded,
+        }
+        records.append(record)
+        documents[item_id] = " ".join(
+            [name, cuisine, neighborhood, str(price_level), str(seats), str(founded)]
+        )
+    return records, documents
+
+
+def build_restaurant_corpus(
+    *,
+    n_restaurants: int = 800,
+    n_users: int = 2500,
+    ratings_per_user: int = 25,
+    seed: RandomState = 1,
+) -> DomainCorpus:
+    """Build the synthetic restaurant corpus for the Table 5 experiment."""
+    config = WorldConfig(
+        n_items=n_restaurants,
+        n_users=n_users,
+        n_traits=7,
+        ratings_per_user=ratings_per_user,
+        rating_scale=(1.0, 5.0),
+        rating_noise=0.55,
+        distance_weight=0.20,
+        seed=int(seed) if not hasattr(seed, "integers") else 1,
+    )
+    world = SyntheticWorld(config)
+    rng = spawn_rng(config.seed, "restaurants-metadata")
+
+    categories: list[CategorySpec] = world.make_categories(
+        list(RESTAURANT_CATEGORIES),
+        prevalences=list(RESTAURANT_CATEGORIES.values()),
+        seed=config.seed,
+    )
+    ground_truth = world.ground_truth_for(categories)
+    ratings = world.generate_ratings()
+    records, documents = _make_metadata(world.item_ids, rng)
+
+    return DomainCorpus(
+        name="restaurants",
+        items=records,
+        ratings=ratings,
+        ground_truth=ground_truth,
+        metadata_documents=documents,
+        categories=categories,
+    )

@@ -1,0 +1,31 @@
+"""Crowd-enabled relational database substrate.
+
+This subpackage implements the database the paper's schema-expansion layer
+sits on: a typed relational store with a SQL front end (tokenizer, parser,
+planner, executor) and crowd-backed operators that can fill missing values
+or rank tuples by perceptual criteria at query time.
+
+Public entry point: :class:`repro.db.database.CrowdDatabase`.
+"""
+
+from repro.db.catalog import Catalog
+from repro.db.database import CrowdDatabase, QueryResult
+from repro.db.schema import AttributeKind, Column, ColumnType, TableSchema
+from repro.db.storage import Row, TableStorage
+from repro.db.types import MISSING, Missing, coerce_value, is_missing
+
+__all__ = [
+    "AttributeKind",
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "CrowdDatabase",
+    "MISSING",
+    "Missing",
+    "QueryResult",
+    "Row",
+    "TableSchema",
+    "TableStorage",
+    "coerce_value",
+    "is_missing",
+]

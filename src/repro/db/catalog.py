@@ -1,0 +1,57 @@
+"""Database catalog: the collection of tables known to a database instance."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.db.schema import TableSchema
+from repro.db.storage import TableStorage
+from repro.errors import DuplicateTableError, UnknownTableError
+
+
+class Catalog:
+    """Maps table names to their storage objects."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableStorage] = {}
+
+    def create_table(self, schema: TableSchema, *, if_not_exists: bool = False) -> TableStorage:
+        """Create a table for *schema* and return its storage."""
+        key = schema.name
+        if key in self._tables:
+            if if_not_exists:
+                return self._tables[key]
+            raise DuplicateTableError(schema.name)
+        storage = TableStorage(schema)
+        self._tables[key] = storage
+        return storage
+
+    def drop_table(self, name: str, *, if_exists: bool = False) -> None:
+        """Remove the table *name* from the catalog."""
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise UnknownTableError(name)
+        del self._tables[key]
+
+    def table(self, name: str) -> TableStorage:
+        """Return the storage of table *name* or raise UnknownTableError."""
+        key = name.lower()
+        if key not in self._tables:
+            raise UnknownTableError(name)
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        """Return True if a table named *name* exists."""
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        """Names of all tables in creation order."""
+        return list(self._tables)
+
+    def __iter__(self) -> Iterator[TableStorage]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

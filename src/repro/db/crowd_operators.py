@@ -1,0 +1,216 @@
+"""Crowd-backed database operators.
+
+Crowd-enabled databases expose operators whose semantics require human
+judgment.  This module defines the narrow protocols the database needs
+(:class:`ValueSource` for filling missing values, :class:`ComparisonSource`
+for perceptual comparisons) and the operators built on top of them:
+
+* :class:`CrowdFillOperator` — obtain missing column values for a set of
+  rows (the "complete missing data at query time" capability).
+* :class:`CrowdCompareOperator` — evaluate a perceptual pairwise comparison.
+* :class:`CrowdOrderOperator` — order tuples by a perceived criterion using
+  pairwise comparisons (a crowd-powered merge sort).
+
+The concrete sources are provided by :mod:`repro.crowd` (a simulated
+platform) or by :mod:`repro.core` (the perceptual-space extractor), keeping
+this package free of circular dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, Sequence
+
+from repro.db.storage import TableStorage
+from repro.db.types import is_missing
+from repro.errors import ExecutionError
+
+
+class ValueSource(Protocol):
+    """Anything that can provide values for (item identifier, attribute)."""
+
+    def request_values(
+        self, attribute: str, items: Sequence[tuple[int, dict[str, Any]]]
+    ) -> dict[int, Any]:
+        """Return ``rowid -> value`` for as many of *items* as possible.
+
+        Each item is a ``(rowid, row)`` pair; a source may return fewer
+        entries than requested (e.g. crowd workers did not know the item).
+        """
+        ...  # pragma: no cover - protocol definition
+
+
+class ComparisonSource(Protocol):
+    """Anything that can judge which of two rows ranks higher on a criterion."""
+
+    def compare(self, criterion: str, left: dict[str, Any], right: dict[str, Any]) -> int:
+        """Return a negative number if *left* ranks below *right*, positive
+        if above, and 0 for a tie."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class CrowdFillReport:
+    """Book-keeping for one crowd-fill pass."""
+
+    attribute: str
+    requested: int = 0
+    filled: int = 0
+    unresolved_rowids: list[int] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of requested values that were actually obtained."""
+        if self.requested == 0:
+            return 1.0
+        return self.filled / self.requested
+
+
+class CrowdFillOperator:
+    """Fill MISSING values of one column by consulting a :class:`ValueSource`."""
+
+    def __init__(self, source: ValueSource) -> None:
+        self._source = source
+
+    def fill(
+        self,
+        table: TableStorage,
+        column: str,
+        *,
+        rowids: Sequence[int] | None = None,
+        batch_size: int = 50,
+    ) -> CrowdFillReport:
+        """Obtain values for every MISSING cell of *column* in *table*.
+
+        Values returned by the source are written back to storage; rows the
+        source could not answer stay MISSING and are listed in the report.
+        """
+        if batch_size <= 0:
+            raise ExecutionError(f"batch_size must be positive, got {batch_size}")
+        target_rowids = list(rowids) if rowids is not None else table.missing_rowids(column)
+        report = CrowdFillReport(attribute=column, requested=len(target_rowids))
+        for start in range(0, len(target_rowids), batch_size):
+            batch = target_rowids[start : start + batch_size]
+            items = [(rowid, dict(table.get(rowid))) for rowid in batch]
+            values = self._source.request_values(column, items)
+            resolved = {
+                rowid: value for rowid, value in values.items() if not is_missing(value)
+            }
+            report.filled += table.fill_values(column, resolved)
+            report.unresolved_rowids.extend(r for r in batch if r not in resolved)
+        return report
+
+
+class CrowdCompareOperator:
+    """Evaluate a single perceptual comparison between two rows."""
+
+    def __init__(self, source: ComparisonSource) -> None:
+        self._source = source
+
+    def compare(self, criterion: str, left: dict[str, Any], right: dict[str, Any]) -> int:
+        """Delegate to the comparison source, validating its output."""
+        result = self._source.compare(criterion, left, right)
+        if not isinstance(result, (int, float)):
+            raise ExecutionError(
+                f"comparison source returned non-numeric verdict {result!r}"
+            )
+        return (result > 0) - (result < 0)
+
+
+class CrowdOrderOperator:
+    """Order rows by a perceived criterion using pairwise crowd comparisons.
+
+    Uses merge sort so the number of comparisons is O(n log n); each
+    comparison is answered by the :class:`ComparisonSource`, which in a live
+    system would issue a HIT (and typically aggregate several votes).
+    """
+
+    def __init__(self, source: ComparisonSource) -> None:
+        self._compare = CrowdCompareOperator(source)
+        self.comparisons_used = 0
+
+    def order(
+        self,
+        rows: Sequence[dict[str, Any]],
+        criterion: str,
+        *,
+        descending: bool = True,
+    ) -> list[dict[str, Any]]:
+        """Return *rows* ordered by *criterion* (best first by default)."""
+        self.comparisons_used = 0
+        items = list(rows)
+        ordered = self._merge_sort(items, criterion)
+        if descending:
+            ordered.reverse()
+        return ordered
+
+    def _merge_sort(self, rows: list[dict[str, Any]], criterion: str) -> list[dict[str, Any]]:
+        if len(rows) <= 1:
+            return rows
+        middle = len(rows) // 2
+        left = self._merge_sort(rows[:middle], criterion)
+        right = self._merge_sort(rows[middle:], criterion)
+        return self._merge(left, right, criterion)
+
+    def _merge(
+        self,
+        left: list[dict[str, Any]],
+        right: list[dict[str, Any]],
+        criterion: str,
+    ) -> list[dict[str, Any]]:
+        merged: list[dict[str, Any]] = []
+        i = j = 0
+        while i < len(left) and j < len(right):
+            verdict = self._compare.compare(criterion, left[i], right[j])
+            self.comparisons_used += 1
+            if verdict <= 0:
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                j += 1
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged
+
+
+class CallableValueSource:
+    """Adapter turning a plain function into a :class:`ValueSource`.
+
+    The function receives ``(attribute, rowid, row)`` and returns a value or
+    :data:`~repro.db.types.MISSING`.
+    """
+
+    def __init__(self, func: Callable[[str, int, dict[str, Any]], Any]) -> None:
+        self._func = func
+
+    def request_values(
+        self, attribute: str, items: Sequence[tuple[int, dict[str, Any]]]
+    ) -> dict[int, Any]:
+        """Call the wrapped function for every item, skipping MISSING answers."""
+        results: dict[int, Any] = {}
+        for rowid, row in items:
+            value = self._func(attribute, rowid, row)
+            if not is_missing(value):
+                results[rowid] = value
+        return results
+
+
+class StaticValueSource:
+    """A :class:`ValueSource` answering from a fixed ``rowid -> value`` map.
+
+    Useful in tests and for replaying previously collected crowd answers.
+    """
+
+    def __init__(self, values: dict[int, Any]) -> None:
+        self._values = dict(values)
+
+    def request_values(
+        self, attribute: str, items: Sequence[tuple[int, dict[str, Any]]]
+    ) -> dict[int, Any]:
+        """Answer every item present in the static map."""
+        return {
+            rowid: self._values[rowid]
+            for rowid, _row in items
+            if rowid in self._values and not is_missing(self._values[rowid])
+        }

@@ -1,0 +1,192 @@
+"""The crowd-enabled database facade.
+
+:class:`CrowdDatabase` bundles catalog, parser, planner and executor behind
+one object and adds the two hooks that make it *crowd-enabled*:
+
+* a **missing-value resolver** consulted whenever a query touches a value
+  marked MISSING (direct crowd-sourcing at query time), and
+* an **expansion handler** consulted whenever a query references a column
+  that does not exist yet (query-driven schema expansion — the paper's core
+  contribution, implemented in :mod:`repro.core`).
+
+Example
+-------
+>>> db = CrowdDatabase()
+>>> db.execute("CREATE TABLE movies (movie_id INTEGER PRIMARY KEY, name TEXT)")
+QueryResult(columns=[], rows=[], rowcount=0, plan_description=None)
+>>> db.execute("INSERT INTO movies (movie_id, name) VALUES (1, 'Rocky')").rowcount
+1
+>>> db.execute("SELECT name FROM movies").rows
+[('Rocky',)]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.db.catalog import Catalog
+from repro.db.schema import AttributeKind, Column, TableSchema
+from repro.db.sql.ast import SelectStatement, Statement
+from repro.db.sql.executor import Executor, QueryResult
+from repro.db.sql.expressions import MissingResolver
+from repro.db.sql.parser import parse_sql, parse_statement
+from repro.db.sql.planner import Planner
+from repro.db.storage import TableStorage
+from repro.db.types import MISSING
+from repro.errors import ExecutionError, UnknownColumnError
+
+#: Signature of the query-driven schema-expansion hook.  It receives the
+#: table name and the unknown column name and returns True if it added the
+#: column (in which case the query is retried once).
+ExpansionHandler = Callable[[str, str], bool]
+
+
+class CrowdDatabase:
+    """An in-memory crowd-enabled relational database."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self._executor = Executor(self.catalog)
+        self._planner = Planner(self.catalog)
+        self._missing_resolver: MissingResolver | None = None
+        self._expansion_handler: ExpansionHandler | None = None
+        self._statement_log: list[str] = []
+
+    # -- configuration -----------------------------------------------------------
+
+    def set_missing_resolver(self, resolver: MissingResolver | None) -> None:
+        """Install the resolver consulted for MISSING values at query time."""
+        self._missing_resolver = resolver
+
+    def set_expansion_handler(self, handler: ExpansionHandler | None) -> None:
+        """Install the handler consulted when a query references an unknown column."""
+        self._expansion_handler = handler
+
+    # -- statement execution -------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        *,
+        explain: bool = False,
+        allow_expansion: bool = True,
+    ) -> QueryResult:
+        """Parse and execute a single SQL statement.
+
+        If the statement references a column that does not exist and an
+        expansion handler is installed, the handler is given one chance to
+        add the column (e.g. by running the perceptual-space pipeline), after
+        which the statement is retried.
+        """
+        self._statement_log.append(sql)
+        statement = parse_statement(sql)
+        return self._execute_statement(
+            statement, explain=explain, allow_expansion=allow_expansion
+        )
+
+    def execute_script(self, sql: str) -> list[QueryResult]:
+        """Execute a ``;``-separated script and return one result per statement."""
+        results = []
+        for statement in parse_sql(sql):
+            self._statement_log.append(sql)
+            results.append(self._execute_statement(statement))
+        return results
+
+    def _execute_statement(
+        self,
+        statement: Statement,
+        *,
+        explain: bool = False,
+        allow_expansion: bool = True,
+    ) -> QueryResult:
+        try:
+            return self._executor.execute(
+                statement, missing_resolver=self._missing_resolver, explain=explain
+            )
+        except UnknownColumnError as error:
+            if (
+                not allow_expansion
+                or self._expansion_handler is None
+                or not isinstance(statement, SelectStatement)
+                or error.table is None
+            ):
+                raise
+            handled = self._expansion_handler(error.table, error.column)
+            if not handled:
+                raise
+            return self._executor.execute(
+                statement, missing_resolver=self._missing_resolver, explain=explain
+            )
+
+    def explain(self, sql: str) -> str:
+        """Return the plan description for a SELECT statement."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, SelectStatement):
+            raise ExecutionError("EXPLAIN is only supported for SELECT statements")
+        plan = self._planner.plan_select(statement)
+        return plan.describe()
+
+    # -- programmatic schema and data access ------------------------------------------
+
+    def create_table(self, schema: TableSchema, *, if_not_exists: bool = False) -> TableStorage:
+        """Create a table from a :class:`~repro.db.schema.TableSchema` object."""
+        return self.catalog.create_table(schema, if_not_exists=if_not_exists)
+
+    def table(self, name: str) -> TableStorage:
+        """Return the storage object of table *name*."""
+        return self.catalog.table(name)
+
+    def insert_rows(self, table_name: str, rows: Iterable[dict[str, Any]]) -> int:
+        """Bulk-insert dictionaries into *table_name*; returns the row count."""
+        table = self.catalog.table(table_name)
+        return len(table.insert_many(rows))
+
+    def add_perceptual_column(
+        self,
+        table_name: str,
+        column_name: str,
+        column_type: Any = None,
+    ) -> Column:
+        """Add a new perceptual column initialised to MISSING and return it."""
+        from repro.db.types import ColumnType
+
+        table = self.catalog.table(table_name)
+        resolved_type = column_type or ColumnType.REAL
+        column = Column(
+            name=column_name,
+            type=resolved_type,
+            kind=AttributeKind.PERCEPTUAL,
+            nullable=True,
+            default=MISSING,
+        )
+        table.add_column(column, fill_value=MISSING)
+        return column
+
+    def column_values(self, table_name: str, column_name: str) -> dict[int, Any]:
+        """Return ``rowid -> value`` for one column (including MISSING cells)."""
+        table = self.catalog.table(table_name)
+        key = table.schema.column(column_name).name
+        return {rowid: row.get(key) for rowid, row in table.scan()}
+
+    def missing_count(self, table_name: str, column_name: str) -> int:
+        """Number of MISSING cells in ``table_name.column_name``."""
+        return len(self.catalog.table(table_name).missing_rowids(column_name))
+
+    # -- introspection -------------------------------------------------------------------
+
+    def table_names(self) -> list[str]:
+        """Names of all tables."""
+        return self.catalog.table_names()
+
+    def describe(self, table_name: str) -> list[dict[str, Any]]:
+        """Schema description of *table_name* (one dict per column)."""
+        return self.catalog.table(table_name).schema.describe()
+
+    @property
+    def statement_log(self) -> Sequence[str]:
+        """Every SQL string passed to :meth:`execute` / :meth:`execute_script`."""
+        return tuple(self._statement_log)
+
+    def __repr__(self) -> str:
+        tables = ", ".join(self.table_names()) or "<empty>"
+        return f"CrowdDatabase(tables=[{tables}])"

@@ -1,0 +1,529 @@
+"""Plan executor for the crowd-enabled database.
+
+Executes :class:`~repro.db.sql.planner.SelectPlan` objects as well as DDL
+and DML statements directly against the catalog.  A ``missing_resolver``
+hook can be supplied so that values marked MISSING are obtained at query
+time (the crowd-sourcing path of the paper); without a resolver they simply
+behave as unknown values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.db.catalog import Catalog
+from repro.db.schema import AttributeKind, Column, TableSchema
+from repro.db.sql import ast
+from repro.db.sql.expressions import (
+    MissingResolver,
+    RowContext,
+    evaluate,
+    evaluate_predicate,
+)
+from repro.db.sql.planner import Planner, ScanPlan, SelectPlan
+from repro.db.types import MISSING, ColumnType, is_missing
+from repro.errors import ExecutionError, PlanningError
+
+# ---------------------------------------------------------------------------
+# Query results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QueryResult:
+    """The outcome of executing one statement.
+
+    ``columns`` and ``rows`` are populated for SELECT statements; DML and
+    DDL statements report the number of affected rows in ``rowcount``.
+    """
+
+    columns: list[str]
+    rows: list[tuple[Any, ...]]
+    rowcount: int = 0
+    plan_description: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Return the result rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> list[Any]:
+        """Return all values of the output column *name*."""
+        if name not in self.columns:
+            raise ExecutionError(f"result has no column {name!r}")
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def scalar(self) -> Any:
+        """Return the single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() requires a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+class Executor:
+    """Executes statements against a :class:`~repro.db.catalog.Catalog`."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+        self._planner = Planner(catalog)
+
+    # -- entry point ------------------------------------------------------------
+
+    def execute(
+        self,
+        statement: ast.Statement,
+        *,
+        missing_resolver: MissingResolver | None = None,
+        explain: bool = False,
+    ) -> QueryResult:
+        """Execute a parsed statement and return its result."""
+        if isinstance(statement, ast.SelectStatement):
+            plan = self._planner.plan_select(statement)
+            result = self._execute_select(plan, missing_resolver)
+            if explain:
+                result.plan_description = plan.describe()
+            return result
+        if isinstance(statement, ast.ExplainStatement):
+            plan = self._planner.plan_select(statement.statement)
+            description = plan.describe()
+            return QueryResult(
+                columns=["plan"],
+                rows=[(line,) for line in description.splitlines()],
+                rowcount=0,
+                plan_description=description,
+            )
+        if isinstance(statement, ast.CreateTableStatement):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.CreateIndexStatement):
+            table = self._catalog.table(statement.table)
+            table.create_index(statement.column)
+            return QueryResult(columns=[], rows=[], rowcount=0)
+        if isinstance(statement, ast.DropTableStatement):
+            return self._execute_drop_table(statement)
+        if isinstance(statement, ast.AlterTableAddColumn):
+            return self._execute_alter_add_column(statement)
+        if isinstance(statement, ast.InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._execute_delete(statement)
+        raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
+
+    # -- SELECT -----------------------------------------------------------------
+
+    def _execute_select(
+        self, plan: SelectPlan, missing_resolver: MissingResolver | None
+    ) -> QueryResult:
+        contexts = self._build_contexts(plan, missing_resolver)
+
+        if plan.where is not None:
+            contexts = [
+                context
+                for context in contexts
+                if evaluate_predicate(plan.where, context, missing_resolver=missing_resolver)
+            ]
+
+        if plan.aggregate is not None:
+            rows = self._aggregate_rows(plan, contexts, missing_resolver)
+        else:
+            rows = []
+            for context in contexts:
+                row = tuple(
+                    evaluate(column.expression, context, missing_resolver=missing_resolver)
+                    for column in plan.output
+                )
+                rows.append((row, context))
+
+        if plan.distinct:
+            seen: set[tuple[Any, ...]] = set()
+            deduplicated = []
+            for row, context in rows:
+                key = tuple(_hashable(value) for value in row)
+                if key not in seen:
+                    seen.add(key)
+                    deduplicated.append((row, context))
+            rows = deduplicated
+
+        if plan.order_by:
+            rows = self._sort_rows(plan, rows, missing_resolver)
+
+        if plan.offset:
+            rows = rows[plan.offset:]
+        if plan.limit is not None:
+            rows = rows[: plan.limit]
+
+        output_rows = [row for row, _context in rows]
+        columns = [column.name for column in plan.output]
+        return QueryResult(columns=columns, rows=output_rows, rowcount=len(output_rows))
+
+    def _build_contexts(
+        self, plan: SelectPlan, missing_resolver: MissingResolver | None
+    ) -> list[RowContext]:
+        if plan.scan is None:
+            return [RowContext()]
+        contexts = [
+            self._context_for_row(plan.scan.alias, row)
+            for row in self._scan_rows(plan.scan)
+        ]
+        for join in plan.joins:
+            right_rows = list(self._scan_rows(join.scan))
+            joined: list[RowContext] = []
+            for context in contexts:
+                matched = False
+                for row in right_rows:
+                    candidate = self._merge_context(context, join.scan.alias, row)
+                    if join.kind == "cross" or evaluate_predicate(
+                        join.condition, candidate, missing_resolver=missing_resolver
+                    ):
+                        joined.append(candidate)
+                        matched = True
+                if join.kind == "left" and not matched:
+                    null_row = {
+                        column: None
+                        for column in self._catalog.table(join.scan.table).schema.column_names
+                    }
+                    joined.append(self._merge_context(context, join.scan.alias, null_row))
+            contexts = joined
+        return contexts
+
+    def _scan_rows(self, scan: ScanPlan) -> Iterable[dict[str, Any]]:
+        table = self._catalog.table(scan.table)
+        if scan.uses_index and scan.index_value is not None:
+            index = table.index_on(scan.index_column or "")
+            value = evaluate(scan.index_value, RowContext())
+            if index is not None:
+                for rowid in sorted(index.lookup(value)):
+                    yield dict(table.get(rowid), __rowid__=rowid)
+                return
+        for rowid, row in table.scan():
+            yield dict(row, __rowid__=rowid)
+
+    @staticmethod
+    def _context_for_row(alias: str, row: dict[str, Any]) -> RowContext:
+        context = RowContext()
+        rowid = row.pop("__rowid__", None)
+        context.add_table_row(alias, row)
+        if rowid is not None:
+            context.set(f"{alias}.__rowid__", rowid)
+        return context
+
+    @staticmethod
+    def _merge_context(context: RowContext, alias: str, row: dict[str, Any]) -> RowContext:
+        merged = RowContext.from_mapping(context.as_mapping())
+        row = dict(row)
+        rowid = row.pop("__rowid__", None)
+        merged.add_table_row(alias, row)
+        if rowid is not None:
+            merged.set(f"{alias}.__rowid__", rowid)
+        return merged
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def _aggregate_rows(
+        self,
+        plan: SelectPlan,
+        contexts: list[RowContext],
+        missing_resolver: MissingResolver | None,
+    ) -> list[tuple[tuple[Any, ...], RowContext]]:
+        aggregate = plan.aggregate
+        assert aggregate is not None
+        groups: dict[tuple[Any, ...], list[RowContext]] = {}
+        if aggregate.group_by:
+            for context in contexts:
+                key = tuple(
+                    _hashable(evaluate(expr, context, missing_resolver=missing_resolver))
+                    for expr in aggregate.group_by
+                )
+                groups.setdefault(key, []).append(context)
+        else:
+            groups[()] = contexts
+
+        rows: list[tuple[tuple[Any, ...], RowContext]] = []
+        for group_contexts in groups.values():
+            representative = group_contexts[0] if group_contexts else RowContext()
+            if aggregate.having is not None:
+                having_value = self._evaluate_aggregate_expression(
+                    aggregate.having, group_contexts, representative, missing_resolver
+                )
+                if not _truthy(having_value):
+                    continue
+            row = tuple(
+                self._evaluate_aggregate_expression(
+                    column.expression, group_contexts, representative, missing_resolver
+                )
+                for column in plan.output
+            )
+            rows.append((row, representative))
+        return rows
+
+    def _evaluate_aggregate_expression(
+        self,
+        expr: ast.Expression,
+        group: Sequence[RowContext],
+        representative: RowContext,
+        missing_resolver: MissingResolver | None,
+    ) -> Any:
+        if isinstance(expr, ast.FunctionCall) and expr.name.lower() in ast.AGGREGATE_FUNCTIONS:
+            return self._compute_aggregate(expr, group, missing_resolver)
+        if isinstance(expr, ast.BinaryOp):
+            left = self._evaluate_aggregate_expression(
+                expr.left, group, representative, missing_resolver
+            )
+            right = self._evaluate_aggregate_expression(
+                expr.right, group, representative, missing_resolver
+            )
+            synthetic = ast.BinaryOp(expr.op, ast.Literal(left), ast.Literal(right))
+            return evaluate(synthetic, representative)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._evaluate_aggregate_expression(
+                expr.operand, group, representative, missing_resolver
+            )
+            return evaluate(ast.UnaryOp(expr.op, ast.Literal(operand)), representative)
+        return evaluate(expr, representative, missing_resolver=missing_resolver)
+
+    @staticmethod
+    def _compute_aggregate(
+        call: ast.FunctionCall,
+        group: Sequence[RowContext],
+        missing_resolver: MissingResolver | None,
+    ) -> Any:
+        name = call.name.lower()
+        if call.star:
+            if name != "count":
+                raise ExecutionError(f"{name.upper()}(*) is not a valid aggregate")
+            return len(group)
+        if len(call.args) != 1:
+            raise ExecutionError(f"aggregate {name.upper()} takes exactly one argument")
+        values = []
+        for context in group:
+            value = evaluate(call.args[0], context, missing_resolver=missing_resolver)
+            if value is None or is_missing(value):
+                continue
+            values.append(value)
+        if call.distinct:
+            unique: list[Any] = []
+            seen: set[Any] = set()
+            for value in values:
+                key = _hashable(value)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(value)
+            values = unique
+        if name == "count":
+            return len(values)
+        if not values:
+            return None
+        if name == "sum":
+            return sum(values)
+        if name == "avg":
+            return sum(values) / len(values)
+        if name == "min":
+            return min(values)
+        if name == "max":
+            return max(values)
+        raise ExecutionError(f"unknown aggregate {name!r}")
+
+    # -- ordering ----------------------------------------------------------------
+
+    def _sort_rows(
+        self,
+        plan: SelectPlan,
+        rows: list[tuple[tuple[Any, ...], RowContext]],
+        missing_resolver: MissingResolver | None,
+    ) -> list[tuple[tuple[Any, ...], RowContext]]:
+        column_names = [column.name for column in plan.output]
+
+        def sort_key_context(row: tuple[Any, ...], context: RowContext) -> RowContext:
+            extended = RowContext.from_mapping(context.as_mapping())
+            for name, value in zip(column_names, row):
+                extended.set(name, value)
+            return extended
+
+        def key_for(item: ast.OrderItem):
+            def compute(entry: tuple[tuple[Any, ...], RowContext]):
+                row, context = entry
+                extended = sort_key_context(row, context)
+                if plan.aggregate is not None:
+                    value = self._evaluate_aggregate_expression(
+                        item.expression, [context], extended, missing_resolver
+                    )
+                else:
+                    value = evaluate(item.expression, extended, missing_resolver=missing_resolver)
+                # Unknown values sort last regardless of direction.
+                missing = value is None or is_missing(value)
+                return missing, value
+            return compute
+
+        ordered = list(rows)
+        for item in reversed(plan.order_by):
+            compute = key_for(item)
+            decorated = [(compute(entry), entry) for entry in ordered]
+
+            def sort_value(element):
+                (missing, value), _entry = element
+                return (missing, _ComparableValue(value))
+
+            # Python's sort is stable, so applying the keys from least to most
+            # significant yields a correct multi-key ordering.
+            decorated.sort(key=sort_value, reverse=not item.ascending)
+            if not item.ascending:
+                # keep unknown values last even for descending sorts
+                known = [d for d in decorated if not d[0][0]]
+                unknown = [d for d in decorated if d[0][0]]
+                decorated = known + unknown
+            ordered = [entry for _key, entry in decorated]
+        return ordered
+
+    # -- DDL -----------------------------------------------------------------------
+
+    def _execute_create_table(self, statement: ast.CreateTableStatement) -> QueryResult:
+        columns = []
+        primary_key = None
+        for definition in statement.columns:
+            column = _column_from_definition(definition)
+            columns.append(column)
+            if definition.primary_key:
+                if primary_key is not None:
+                    raise PlanningError("multiple PRIMARY KEY columns are not supported")
+                primary_key = column.name
+        schema = TableSchema(statement.table, columns, primary_key=primary_key)
+        self._catalog.create_table(schema, if_not_exists=statement.if_not_exists)
+        return QueryResult(columns=[], rows=[], rowcount=0)
+
+    def _execute_drop_table(self, statement: ast.DropTableStatement) -> QueryResult:
+        self._catalog.drop_table(statement.table, if_exists=statement.if_exists)
+        return QueryResult(columns=[], rows=[], rowcount=0)
+
+    def _execute_alter_add_column(self, statement: ast.AlterTableAddColumn) -> QueryResult:
+        table = self._catalog.table(statement.table)
+        column = _column_from_definition(statement.column)
+        fill = column.default if column.default is not None else (
+            MISSING if column.kind is AttributeKind.PERCEPTUAL else None
+        )
+        table.add_column(column, fill_value=fill)
+        return QueryResult(columns=[], rows=[], rowcount=len(table))
+
+    # -- DML -----------------------------------------------------------------------
+
+    def _execute_insert(self, statement: ast.InsertStatement) -> QueryResult:
+        table = self._catalog.table(statement.table)
+        schema = table.schema
+        columns = list(statement.columns) or schema.column_names
+        inserted = 0
+        for value_exprs in statement.rows:
+            if len(value_exprs) != len(columns):
+                raise ExecutionError(
+                    f"INSERT expects {len(columns)} values, got {len(value_exprs)}"
+                )
+            values = {
+                column: evaluate(expr, RowContext())
+                for column, expr in zip(columns, value_exprs)
+            }
+            table.insert(values)
+            inserted += 1
+        return QueryResult(columns=[], rows=[], rowcount=inserted)
+
+    def _execute_update(self, statement: ast.UpdateStatement) -> QueryResult:
+        table = self._catalog.table(statement.table)
+        updated = 0
+        for rowid, row in list(table.scan()):
+            context = RowContext()
+            context.add_table_row(table.schema.name, row)
+            if evaluate_predicate(statement.where, context):
+                changes = {
+                    column: evaluate(expr, context)
+                    for column, expr in statement.assignments
+                }
+                table.update(rowid, changes)
+                updated += 1
+        return QueryResult(columns=[], rows=[], rowcount=updated)
+
+    def _execute_delete(self, statement: ast.DeleteStatement) -> QueryResult:
+        table = self._catalog.table(statement.table)
+        to_delete = []
+        for rowid, row in table.scan():
+            context = RowContext()
+            context.add_table_row(table.schema.name, row)
+            if evaluate_predicate(statement.where, context):
+                to_delete.append(rowid)
+        for rowid in to_delete:
+            table.delete(rowid)
+        return QueryResult(columns=[], rows=[], rowcount=len(to_delete))
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+class _ComparableValue:
+    """Total-order wrapper so heterogeneous sort keys never raise."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def _rank(self) -> tuple[int, Any]:
+        value = self.value
+        if value is None or is_missing(value):
+            return (3, 0)
+        if isinstance(value, bool):
+            return (0, int(value))
+        if isinstance(value, (int, float)):
+            return (0, float(value))
+        if isinstance(value, str):
+            return (1, value)
+        return (2, str(value))
+
+    def __lt__(self, other: "_ComparableValue") -> bool:
+        return self._rank() < other._rank()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _ComparableValue):
+            return NotImplemented
+        return self._rank() == other._rank()
+
+
+def _hashable(value: Any) -> Any:
+    if is_missing(value):
+        return "\x00MISSING\x00"
+    return value
+
+
+def _truthy(value: Any) -> bool:
+    if value is None or is_missing(value):
+        return False
+    return bool(value)
+
+
+def _column_from_definition(definition: ast.ColumnDefinition) -> Column:
+    column_type = ColumnType.from_name(definition.type_name)
+    default: Any = None
+    if definition.default is not None:
+        default = evaluate(definition.default, RowContext())
+    kind = AttributeKind.PERCEPTUAL if definition.perceptual else AttributeKind.FACTUAL
+    if definition.perceptual and definition.default is None:
+        default = MISSING
+    return Column(
+        name=definition.name,
+        type=column_type,
+        kind=kind,
+        nullable=not definition.not_null,
+        default=default,
+    )

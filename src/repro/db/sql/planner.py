@@ -1,0 +1,359 @@
+"""Query planner: turns parsed SELECT statements into executable plans.
+
+The planner is deliberately small but real: it expands ``*`` projections,
+resolves and validates every column reference against the catalog (this is
+where an unknown perceptual attribute surfaces as
+:class:`~repro.errors.UnknownColumnError`, the trigger for query-driven
+schema expansion), detects aggregation, and chooses between a full table
+scan and a hash-index lookup for simple equality predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.db.catalog import Catalog
+from repro.db.sql import ast
+from repro.db.sql.expressions import expression_label
+from repro.errors import PlanningError, UnknownColumnError
+
+# ---------------------------------------------------------------------------
+# Plan data structures
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """Access path for one table: full scan or index equality lookup."""
+
+    table: str
+    alias: str
+    index_column: Optional[str] = None
+    index_value: Optional[ast.Expression] = None
+
+    @property
+    def uses_index(self) -> bool:
+        """True if this scan uses a hash-index equality lookup."""
+        return self.index_column is not None
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """One join step applied to the accumulated row set."""
+
+    scan: ScanPlan
+    condition: Optional[ast.Expression]
+    kind: str
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """One output column of the final projection."""
+
+    expression: ast.Expression
+    name: str
+    aggregate: bool
+
+
+@dataclass(frozen=True)
+class AggregatePlan:
+    """Grouping/aggregation specification."""
+
+    group_by: tuple[ast.Expression, ...]
+    having: Optional[ast.Expression]
+
+
+@dataclass(frozen=True)
+class SelectPlan:
+    """Fully resolved plan for a SELECT statement."""
+
+    scan: Optional[ScanPlan]
+    joins: tuple[JoinPlan, ...]
+    where: Optional[ast.Expression]
+    output: tuple[OutputColumn, ...]
+    aggregate: Optional[AggregatePlan]
+    order_by: tuple[ast.OrderItem, ...]
+    limit: Optional[int]
+    offset: Optional[int]
+    distinct: bool
+    referenced_columns: tuple[str, ...] = field(default=())
+
+    def describe(self) -> str:
+        """Return a short EXPLAIN-style description of the plan."""
+        lines = []
+        if self.scan is None:
+            lines.append("Result (no table)")
+        elif self.scan.uses_index:
+            lines.append(
+                f"IndexLookup {self.scan.table} AS {self.scan.alias} "
+                f"ON {self.scan.index_column}"
+            )
+        else:
+            lines.append(f"SeqScan {self.scan.table} AS {self.scan.alias}")
+        for join in self.joins:
+            lines.append(f"{join.kind.title()}Join {join.scan.table} AS {join.scan.alias}")
+        if self.where is not None:
+            lines.append("Filter " + expression_label(self.where))
+        if self.aggregate is not None:
+            keys = ", ".join(expression_label(e) for e in self.aggregate.group_by) or "<all>"
+            lines.append(f"Aggregate BY {keys}")
+        lines.append("Project " + ", ".join(column.name for column in self.output))
+        if self.distinct:
+            lines.append("Distinct")
+        if self.order_by:
+            lines.append(
+                "Sort "
+                + ", ".join(
+                    expression_label(item.expression) + ("" if item.ascending else " DESC")
+                    for item in self.order_by
+                )
+            )
+        if self.limit is not None:
+            lines.append(f"Limit {self.limit}" + (f" Offset {self.offset}" if self.offset else ""))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Planning
+# ---------------------------------------------------------------------------
+
+
+class Planner:
+    """Builds :class:`SelectPlan` objects for a given catalog."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+
+    # -- public API -----------------------------------------------------------
+
+    def plan_select(self, statement: ast.SelectStatement) -> SelectPlan:
+        """Validate *statement* against the catalog and produce a plan."""
+        alias_tables = self._collect_sources(statement)
+        self._validate_columns(statement, alias_tables)
+
+        scan = None
+        joins: list[JoinPlan] = []
+        where = statement.where
+        if statement.from_table is not None:
+            scan, where = self._choose_access_path(statement.from_table, where, alias_tables)
+            for join in statement.joins:
+                join_scan = ScanPlan(
+                    table=join.right.name, alias=join.right.effective_alias
+                )
+                joins.append(JoinPlan(scan=join_scan, condition=join.condition, kind=join.kind))
+
+        output = self._resolve_output(statement, alias_tables)
+        aggregate = self._resolve_aggregate(statement, output)
+        referenced = self._referenced_column_names(statement)
+
+        return SelectPlan(
+            scan=scan,
+            joins=tuple(joins),
+            where=where,
+            output=tuple(output),
+            aggregate=aggregate,
+            order_by=statement.order_by,
+            limit=statement.limit,
+            offset=statement.offset,
+            distinct=statement.distinct,
+            referenced_columns=tuple(sorted(referenced)),
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _collect_sources(self, statement: ast.SelectStatement) -> dict[str, str]:
+        """Map alias -> table name for every table in the FROM clause."""
+        sources: dict[str, str] = {}
+        if statement.from_table is None:
+            return sources
+        refs = [statement.from_table] + [join.right for join in statement.joins]
+        for ref in refs:
+            table = self._catalog.table(ref.name)  # raises UnknownTableError
+            alias = ref.effective_alias.lower()
+            if alias in sources:
+                raise PlanningError(f"duplicate table alias {alias!r}")
+            sources[alias] = table.schema.name
+        return sources
+
+    def _validate_columns(
+        self, statement: ast.SelectStatement, alias_tables: dict[str, str]
+    ) -> None:
+        """Check that every referenced column exists in some source table."""
+        expressions: list[ast.Expression] = []
+        for item in statement.items:
+            if not isinstance(item.expression, ast.Star):
+                expressions.append(item.expression)
+        for join in statement.joins:
+            if join.condition is not None:
+                expressions.append(join.condition)
+        if statement.where is not None:
+            expressions.append(statement.where)
+        expressions.extend(statement.group_by)
+        if statement.having is not None:
+            expressions.append(statement.having)
+
+        output_aliases = {item.alias for item in statement.items if item.alias}
+        for order_item in statement.order_by:
+            expr = order_item.expression
+            if isinstance(expr, ast.ColumnRef) and expr.table is None and expr.name in output_aliases:
+                continue
+            expressions.append(expr)
+
+        for expression in expressions:
+            for ref in ast.referenced_columns(expression):
+                self._validate_column_ref(ref, alias_tables)
+
+    def _validate_column_ref(self, ref: ast.ColumnRef, alias_tables: dict[str, str]) -> None:
+        if not alias_tables:
+            raise UnknownColumnError(ref.name, ref.table)
+        if ref.table is not None:
+            alias = ref.table.lower()
+            if alias not in alias_tables:
+                raise PlanningError(f"unknown table alias {ref.table!r}")
+            schema = self._catalog.table(alias_tables[alias]).schema
+            if ref.name not in schema:
+                raise UnknownColumnError(ref.name, schema.name)
+            return
+        matches = [
+            table_name
+            for table_name in alias_tables.values()
+            if ref.name in self._catalog.table(table_name).schema
+        ]
+        if not matches:
+            # attribute unknown to every source table: expansion trigger
+            raise UnknownColumnError(ref.name, next(iter(alias_tables.values())))
+        if len(set(alias_tables.values())) > 1 and len(matches) > 1:
+            raise PlanningError(f"ambiguous column reference {ref.name!r}")
+
+    def _choose_access_path(
+        self,
+        table_ref: ast.TableRef,
+        where: Optional[ast.Expression],
+        alias_tables: dict[str, str],
+    ) -> tuple[ScanPlan, Optional[ast.Expression]]:
+        """Use a hash index for a top-level ``col = literal`` predicate."""
+        table = self._catalog.table(table_ref.name)
+        alias = table_ref.effective_alias
+        default = ScanPlan(table=table.schema.name, alias=alias)
+        if where is None or len(alias_tables) > 1:
+            return default, where
+
+        candidate = self._extract_index_predicate(where, table, alias)
+        if candidate is None:
+            return default, where
+        column, value_expr = candidate
+        scan = ScanPlan(
+            table=table.schema.name,
+            alias=alias,
+            index_column=column,
+            index_value=value_expr,
+        )
+        # Keep the full WHERE as a residual filter: re-applying the equality
+        # is cheap and keeps the executor simple and correct.
+        return scan, where
+
+    @staticmethod
+    def _extract_index_predicate(
+        where: ast.Expression, table, alias: str
+    ) -> Optional[tuple[str, ast.Expression]]:
+        if not isinstance(where, ast.BinaryOp) or where.op != "=":
+            return None
+        left, right = where.left, where.right
+        if isinstance(left, ast.Literal) and isinstance(right, ast.ColumnRef):
+            left, right = right, left
+        if not isinstance(left, ast.ColumnRef) or not isinstance(right, ast.Literal):
+            return None
+        if left.table is not None and left.table.lower() != alias.lower():
+            return None
+        if table.index_on(left.name) is None:
+            return None
+        return left.name, right
+
+    def _resolve_output(
+        self, statement: ast.SelectStatement, alias_tables: dict[str, str]
+    ) -> list[OutputColumn]:
+        output: list[OutputColumn] = []
+        used_names: dict[str, int] = {}
+
+        def unique_name(name: str) -> str:
+            if name not in used_names:
+                used_names[name] = 1
+                return name
+            used_names[name] += 1
+            return f"{name}_{used_names[name]}"
+
+        for item in statement.items:
+            expr = item.expression
+            if isinstance(expr, ast.Star):
+                for alias, table_name in alias_tables.items():
+                    if expr.table is not None and expr.table.lower() != alias:
+                        continue
+                    schema = self._catalog.table(table_name).schema
+                    for column in schema.column_names:
+                        ref = ast.ColumnRef(name=column, table=alias if len(alias_tables) > 1 else None)
+                        output.append(
+                            OutputColumn(
+                                expression=ref,
+                                name=unique_name(column),
+                                aggregate=False,
+                            )
+                        )
+                if expr.table is not None and expr.table.lower() not in alias_tables:
+                    raise PlanningError(f"unknown table alias {expr.table!r} in '*' projection")
+                continue
+            name = item.alias or expression_label(expr)
+            output.append(
+                OutputColumn(
+                    expression=expr,
+                    name=unique_name(name),
+                    aggregate=ast.is_aggregate(expr),
+                )
+            )
+        if not output:
+            raise PlanningError("SELECT list is empty")
+        return output
+
+    @staticmethod
+    def _resolve_aggregate(
+        statement: ast.SelectStatement, output: list[OutputColumn]
+    ) -> Optional[AggregatePlan]:
+        has_aggregate = any(column.aggregate for column in output)
+        if statement.having is not None and not statement.group_by and not has_aggregate:
+            raise PlanningError("HAVING requires GROUP BY or aggregate functions")
+        if not statement.group_by and not has_aggregate:
+            return None
+        if statement.group_by:
+            group_keys = {expression_label(e) for e in statement.group_by}
+            for column in output:
+                if column.aggregate:
+                    continue
+                if expression_label(column.expression) not in group_keys:
+                    raise PlanningError(
+                        f"column {column.name!r} must appear in GROUP BY or an aggregate"
+                    )
+        else:
+            for column in output:
+                if not column.aggregate:
+                    raise PlanningError(
+                        f"column {column.name!r} must be aggregated when no GROUP BY is given"
+                    )
+        return AggregatePlan(group_by=statement.group_by, having=statement.having)
+
+    @staticmethod
+    def _referenced_column_names(statement: ast.SelectStatement) -> set[str]:
+        names: set[str] = set()
+        expressions: list[ast.Expression] = []
+        if statement.where is not None:
+            expressions.append(statement.where)
+        for item in statement.items:
+            if not isinstance(item.expression, ast.Star):
+                expressions.append(item.expression)
+        expressions.extend(statement.group_by)
+        if statement.having is not None:
+            expressions.append(statement.having)
+        for order_item in statement.order_by:
+            expressions.append(order_item.expression)
+        for expression in expressions:
+            names.update(ref.name for ref in ast.referenced_columns(expression))
+        return names

@@ -1,0 +1,174 @@
+"""SQL tokenizer.
+
+Splits a SQL string into a stream of typed tokens.  The tokenizer is
+case-insensitive for keywords and identifiers, supports single-quoted
+string literals with doubled-quote escaping, integer and floating point
+literals, and the usual operator and punctuation set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+#: Reserved words recognised as keywords (upper-case).
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+        "OFFSET", "ASC", "DESC", "AS", "DISTINCT", "ALL",
+        "JOIN", "INNER", "LEFT", "OUTER", "ON", "CROSS",
+        "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+        "CREATE", "TABLE", "DROP", "ALTER", "ADD", "COLUMN", "INDEX", "EXPLAIN",
+        "PRIMARY", "KEY", "NOT", "NULL", "DEFAULT", "IF", "EXISTS",
+        "AND", "OR", "IN", "IS", "BETWEEN", "LIKE",
+        "TRUE", "FALSE", "MISSING", "PERCEPTUAL", "FACTUAL",
+        "CASE", "WHEN", "THEN", "ELSE", "END",
+        "COUNT", "SUM", "AVG", "MIN", "MAX",
+    }
+)
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :func:`tokenize`."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """True if this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, pos={self.position})"
+
+
+_OPERATOR_CHARS = "<>=!+-*/%|"
+_TWO_CHAR_OPERATORS = {"<=", ">=", "<>", "!=", "||"}
+_PUNCTUATION = "(),.;*"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize *sql* and return the token list terminated by an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        char = sql[i]
+
+        # whitespace
+        if char.isspace():
+            i += 1
+            continue
+
+        # comments: -- to end of line
+        if char == "-" and i + 1 < length and sql[i + 1] == "-":
+            newline = sql.find("\n", i)
+            i = length if newline == -1 else newline + 1
+            continue
+
+        # string literal
+        if char == "'":
+            start = i
+            i += 1
+            parts: list[str] = []
+            while True:
+                if i >= length:
+                    raise SQLSyntaxError("unterminated string literal", start)
+                if sql[i] == "'":
+                    if i + 1 < length and sql[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(sql[i])
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), start))
+            continue
+
+        # number literal
+        if char.isdigit() or (char == "." and i + 1 < length and sql[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < length:
+                current = sql[i]
+                if current.isdigit():
+                    i += 1
+                elif current == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif current in "eE" and not seen_exp and i > start:
+                    seen_exp = True
+                    i += 1
+                    if i < length and sql[i] in "+-":
+                        i += 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, sql[start:i], start))
+            continue
+
+        # identifier or keyword
+        if char.isalpha() or char == "_" or char == '"':
+            start = i
+            if char == '"':
+                i += 1
+                end = sql.find('"', i)
+                if end == -1:
+                    raise SQLSyntaxError("unterminated quoted identifier", start)
+                name = sql[i:end]
+                i = end + 1
+                tokens.append(Token(TokenType.IDENTIFIER, name.lower(), start))
+                continue
+            while i < length and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word.lower(), start))
+            continue
+
+        # operators
+        if char in _OPERATOR_CHARS:
+            two = sql[i : i + 2]
+            if two in _TWO_CHAR_OPERATORS:
+                tokens.append(Token(TokenType.OPERATOR, two, i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.OPERATOR, char, i))
+                i += 1
+            continue
+
+        # punctuation
+        if char in _PUNCTUATION:
+            token_type = TokenType.PUNCTUATION
+            if char == "*":
+                # '*' is both multiplication and the SELECT-star wildcard;
+                # the parser disambiguates, the tokenizer reports OPERATOR.
+                token_type = TokenType.OPERATOR
+            tokens.append(Token(token_type, char, i))
+            i += 1
+            continue
+
+        raise SQLSyntaxError(f"unexpected character {char!r}", i)
+
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

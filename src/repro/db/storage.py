@@ -1,0 +1,203 @@
+"""In-memory row storage with rowids, hash indexes and MISSING accounting.
+
+The storage layer is deliberately simple (Python dicts), because the
+experiments operate on at most tens of thousands of tuples; what matters
+for the paper's reproduction is the *interface*: scans expose which rows
+still carry :data:`~repro.db.types.MISSING` values so that the crowd layer
+and the schema-expansion layer can target exactly those.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.db.schema import Column, TableSchema
+from repro.db.types import MISSING, is_missing
+from repro.errors import ExecutionError, IntegrityError, UnknownColumnError
+
+#: A stored row: column name -> value (always contains every schema column).
+Row = dict[str, Any]
+
+
+class HashIndex:
+    """Equality index mapping a column value to the set of matching rowids."""
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._buckets: dict[Any, set[int]] = {}
+
+    def add(self, rowid: int, value: Any) -> None:
+        """Index *rowid* under *value* (MISSING/NULL are not indexed)."""
+        if value is None or is_missing(value):
+            return
+        self._buckets.setdefault(value, set()).add(rowid)
+
+    def remove(self, rowid: int, value: Any) -> None:
+        """Remove *rowid* from the bucket of *value* if present."""
+        if value is None or is_missing(value):
+            return
+        bucket = self._buckets.get(value)
+        if bucket is not None:
+            bucket.discard(rowid)
+            if not bucket:
+                del self._buckets[value]
+
+    def lookup(self, value: Any) -> frozenset[int]:
+        """Return the rowids whose indexed column equals *value*."""
+        return frozenset(self._buckets.get(value, frozenset()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class TableStorage:
+    """Row store for a single table."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[int, Row] = {}
+        self._next_rowid = 1
+        self._indexes: dict[str, HashIndex] = {}
+        self._pk_index: HashIndex | None = None
+        if schema.primary_key is not None:
+            self._pk_index = self.create_index(schema.primary_key)
+
+    # -- index management ---------------------------------------------------
+
+    def create_index(self, column_name: str) -> HashIndex:
+        """Create (or return an existing) hash index on *column_name*."""
+        key = column_name.lower()
+        if key not in self.schema:
+            raise UnknownColumnError(column_name, self.schema.name)
+        if key in self._indexes:
+            return self._indexes[key]
+        index = HashIndex(key)
+        for rowid, row in self._rows.items():
+            index.add(rowid, row.get(key))
+        self._indexes[key] = index
+        return index
+
+    def index_on(self, column_name: str) -> HashIndex | None:
+        """Return the index on *column_name* if one exists."""
+        return self._indexes.get(column_name.lower())
+
+    # -- basic row operations -----------------------------------------------
+
+    def insert(self, values: dict[str, Any]) -> int:
+        """Insert a row (validated against the schema) and return its rowid."""
+        row = self.schema.normalise_row(values)
+        if self._pk_index is not None:
+            pk = self.schema.primary_key
+            value = row.get(pk)
+            if value is None or is_missing(value):
+                raise IntegrityError(
+                    f"primary key {pk!r} of table {self.schema.name!r} must not be NULL"
+                )
+            if self._pk_index.lookup(value):
+                raise IntegrityError(
+                    f"duplicate primary key {value!r} in table {self.schema.name!r}"
+                )
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        for index in self._indexes.values():
+            index.add(rowid, row.get(index.column))
+        return rowid
+
+    def insert_many(self, rows: Iterable[dict[str, Any]]) -> list[int]:
+        """Insert many rows, returning their rowids in insertion order."""
+        return [self.insert(row) for row in rows]
+
+    def get(self, rowid: int) -> Row:
+        """Return the row stored under *rowid*."""
+        try:
+            return self._rows[rowid]
+        except KeyError as exc:
+            raise ExecutionError(
+                f"rowid {rowid} not found in table {self.schema.name!r}"
+            ) from exc
+
+    def delete(self, rowid: int) -> None:
+        """Delete the row stored under *rowid*."""
+        row = self.get(rowid)
+        for index in self._indexes.values():
+            index.remove(rowid, row.get(index.column))
+        del self._rows[rowid]
+
+    def update(self, rowid: int, changes: dict[str, Any]) -> Row:
+        """Apply *changes* (column -> new value) to the row at *rowid*."""
+        row = self.get(rowid)
+        for name, value in changes.items():
+            column = self.schema.column(name)
+            coerced = column.coerce(value)
+            if coerced is None and not column.nullable:
+                raise IntegrityError(
+                    f"column {column.name!r} of table {self.schema.name!r} is NOT NULL"
+                )
+            index = self._indexes.get(column.name)
+            if index is not None:
+                index.remove(rowid, row.get(column.name))
+                index.add(rowid, coerced)
+            row[column.name] = coerced
+        return row
+
+    # -- scans ----------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[int, Row]]:
+        """Yield ``(rowid, row)`` pairs in insertion order."""
+        yield from self._rows.items()
+
+    def rows(self) -> list[Row]:
+        """Return a list of copies of all rows (insertion order)."""
+        return [dict(row) for row in self._rows.values()]
+
+    def rowids(self) -> list[int]:
+        """Return all rowids in insertion order."""
+        return list(self._rows)
+
+    def select_rowids(self, predicate: Callable[[Row], bool]) -> list[int]:
+        """Return the rowids of rows satisfying *predicate*."""
+        return [rowid for rowid, row in self._rows.items() if predicate(row)]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- schema evolution -----------------------------------------------------
+
+    def add_column(self, column: Column, fill_value: Any = MISSING) -> None:
+        """Add *column* to the schema and initialise existing rows.
+
+        Newly added perceptual columns are filled with MISSING so the
+        expansion machinery can discover which values still need to be
+        obtained.
+        """
+        self.schema.add_column(column)
+        value = column.coerce(fill_value) if not is_missing(fill_value) else fill_value
+        for row in self._rows.values():
+            row[column.name] = value
+
+    # -- missing-value accounting ---------------------------------------------
+
+    def missing_rowids(self, column_name: str) -> list[int]:
+        """Rowids whose value for *column_name* is MISSING."""
+        key = self.schema.column(column_name).name
+        return [rowid for rowid, row in self._rows.items() if is_missing(row.get(key))]
+
+    def missing_fraction(self, column_name: str) -> float:
+        """Fraction of rows whose value for *column_name* is MISSING."""
+        if not self._rows:
+            return 0.0
+        return len(self.missing_rowids(column_name)) / len(self._rows)
+
+    def fill_values(self, column_name: str, values: dict[int, Any]) -> int:
+        """Fill *column_name* for the given ``rowid -> value`` mapping.
+
+        Returns the number of rows updated.  Used by the crowd and
+        perceptual-space layers to write obtained judgments back.
+        """
+        column = self.schema.column(column_name)
+        updated = 0
+        for rowid, value in values.items():
+            self.update(rowid, {column.name: value})
+            updated += 1
+        return updated

@@ -1,0 +1,192 @@
+"""Shared experiment state: corpus, reference data, perceptual and metadata spaces.
+
+The paper's movie experiments all share the same substrate — the Netflix
+rating corpus, the three expert databases, the reference labels, the
+perceptual space and the LSI metadata space.  Building these is the most
+expensive part of any experiment, so this module constructs them once per
+configuration and caches the result for the lifetime of the process.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.datasets.experts import ExpertDatabase, build_expert_databases, majority_reference
+from repro.datasets.movies import build_movie_corpus
+from repro.datasets.synthetic import DomainCorpus
+from repro.learn.lsi import LatentSemanticIndex, build_metadata_documents
+from repro.perceptual.euclidean_embedding import EuclideanEmbeddingModel
+from repro.perceptual.factorization import FactorModelConfig
+from repro.perceptual.space import PerceptualSpace
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class MovieExperimentConfig:
+    """Scale and hyper-parameters of the movie experiment substrate.
+
+    ``small()`` is used by the test suite (seconds), the default by the
+    benchmarks (tens of seconds).  The paper's original scale (10,562
+    movies, 480k users, 85M ratings, d=100) is reachable by increasing the
+    numbers, at proportional cost.
+    """
+
+    n_movies: int = 800
+    n_users: int = 2000
+    ratings_per_user: int = 50
+    n_factors: int = 24
+    n_epochs: int = 20
+    lsi_components: int = 50
+    crowd_sample_size: int = 300
+    seed: int = 0
+
+    @classmethod
+    def small(cls) -> "MovieExperimentConfig":
+        """A configuration small enough for unit tests."""
+        return cls(
+            n_movies=300,
+            n_users=700,
+            ratings_per_user=35,
+            n_factors=16,
+            n_epochs=12,
+            lsi_components=24,
+            crowd_sample_size=120,
+            seed=0,
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "MovieExperimentConfig":
+        """A configuration approximating the paper's full scale (slow)."""
+        return cls(
+            n_movies=10_562,
+            n_users=50_000,
+            ratings_per_user=120,
+            n_factors=100,
+            n_epochs=30,
+            lsi_components=100,
+            crowd_sample_size=1000,
+            seed=0,
+        )
+
+
+@dataclass
+class MovieExperimentContext:
+    """Everything the movie experiments need, built once and shared."""
+
+    config: MovieExperimentConfig
+    corpus: DomainCorpus
+    experts: list[ExpertDatabase]
+    reference: dict[str, dict[int, bool]]
+    space: PerceptualSpace
+    metadata_space: PerceptualSpace
+    crowd_sample: list[int] = field(default_factory=list)
+
+    @property
+    def genres(self) -> list[str]:
+        """The genres with reference labels, in a stable order."""
+        return sorted(self.reference)
+
+    def reference_labels(self, genre: str) -> dict[int, bool]:
+        """Majority-vote reference labels of one genre."""
+        return dict(self.reference[genre])
+
+    def sample_truth(self, genre: str) -> dict[int, bool]:
+        """Reference labels restricted to the crowd-experiment sample."""
+        labels = self.reference[genre]
+        return {item_id: labels[item_id] for item_id in self.crowd_sample if item_id in labels}
+
+    def item_name(self, item_id: int) -> str:
+        """Display name of an item."""
+        for record in self.corpus.items:
+            if int(record["item_id"]) == int(item_id):
+                return str(record.get("name", item_id))
+        return str(item_id)
+
+
+def build_metadata_space(corpus: DomainCorpus, n_components: int) -> PerceptualSpace:
+    """Build the LSI "metadata space" baseline for a corpus.
+
+    The item coordinates are the LSI projection of the flattened factual
+    metadata documents — the same construction the paper uses for its
+    comparison space.
+    """
+    item_ids, documents = build_metadata_documents(
+        {item_id: {"document": doc} for item_id, doc in corpus.metadata_documents.items()}
+    )
+    index = LatentSemanticIndex(n_components=n_components, min_document_frequency=1)
+    coordinates = index.fit_transform(documents)
+    return PerceptualSpace(
+        item_ids,
+        np.asarray(coordinates, dtype=np.float64),
+        metadata={"model": "lsi-metadata", "n_components": n_components},
+    )
+
+
+def build_perceptual_space(
+    corpus: DomainCorpus, *, n_factors: int, n_epochs: int, seed: int
+) -> PerceptualSpace:
+    """Train the Euclidean-embedding model on a corpus and return its space."""
+    model = EuclideanEmbeddingModel(
+        FactorModelConfig(n_factors=n_factors, n_epochs=n_epochs, seed=seed)
+    )
+    model.fit(corpus.ratings)
+    return model.to_space()
+
+
+@functools.lru_cache(maxsize=4)
+def get_movie_context(config: MovieExperimentConfig | None = None) -> MovieExperimentContext:
+    """Build (or fetch from cache) the movie experiment context for *config*."""
+    config = config or MovieExperimentConfig()
+    corpus = build_movie_corpus(
+        n_movies=config.n_movies,
+        n_users=config.n_users,
+        ratings_per_user=config.ratings_per_user,
+        seed=config.seed,
+    )
+    experts = build_expert_databases(corpus.ground_truth, seed=config.seed)
+    reference = majority_reference(experts)
+    space = build_perceptual_space(
+        corpus, n_factors=config.n_factors, n_epochs=config.n_epochs, seed=config.seed
+    )
+    metadata_space = build_metadata_space(corpus, config.lsi_components)
+
+    rng = spawn_rng(config.seed, "crowd-sample")
+    labelled_ids = sorted(reference[next(iter(reference))])
+    sample_size = min(config.crowd_sample_size, len(labelled_ids))
+    crowd_sample = sorted(
+        int(i) for i in rng.choice(labelled_ids, size=sample_size, replace=False)
+    )
+
+    return MovieExperimentContext(
+        config=config,
+        corpus=corpus,
+        experts=experts,
+        reference=reference,
+        space=space,
+        metadata_space=metadata_space,
+        crowd_sample=crowd_sample,
+    )
+
+
+def expert_reference_gmeans(
+    experts: list[ExpertDatabase], reference: Mapping[str, Mapping[int, bool]], genre: str
+) -> dict[str, float]:
+    """g-mean of each individual expert database against the majority reference.
+
+    Reproduces the "Reference" columns of Table 3 (0.91–0.95 in the paper).
+    """
+    from repro.learn.metrics import g_mean
+
+    results: dict[str, float] = {}
+    truth = reference[genre]
+    for expert in experts:
+        labels = expert.labels[genre]
+        common = [item_id for item_id in truth if item_id in labels]
+        truth_values = np.array([truth[i] for i in common])
+        expert_values = np.array([labels[i] for i in common])
+        results[expert.name] = g_mean(truth_values, expert_values)
+    return results

@@ -1,0 +1,156 @@
+"""Evaluation metrics used throughout the paper's evaluation section.
+
+The central measure is the **g-mean** (geometric mean of sensitivity and
+specificity), chosen because genre labels are heavily imbalanced: a naive
+classifier labelling everything negative reaches high plain accuracy but a
+g-mean of zero (Section 4.3).  Precision/recall back Table 4, plain
+accuracy backs Table 1 / Figures 3–4, and the Pearson correlation backs the
+similarity user study discussed in Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import LearningError
+
+
+def _as_bool_arrays(
+    truth: Sequence[bool] | np.ndarray, predictions: Sequence[bool] | np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    truth = np.asarray(truth).astype(bool)
+    predictions = np.asarray(predictions).astype(bool)
+    if truth.shape != predictions.shape:
+        raise LearningError(
+            f"truth and predictions have different shapes: {truth.shape} vs {predictions.shape}"
+        )
+    if truth.size == 0:
+        raise LearningError("cannot compute metrics on empty inputs")
+    return truth, predictions
+
+
+def confusion_matrix(
+    truth: Sequence[bool] | np.ndarray, predictions: Sequence[bool] | np.ndarray
+) -> dict[str, int]:
+    """Return true/false positive/negative counts."""
+    truth, predictions = _as_bool_arrays(truth, predictions)
+    return {
+        "tp": int(np.sum(truth & predictions)),
+        "fp": int(np.sum(~truth & predictions)),
+        "fn": int(np.sum(truth & ~predictions)),
+        "tn": int(np.sum(~truth & ~predictions)),
+    }
+
+
+def accuracy(
+    truth: Sequence[bool] | np.ndarray, predictions: Sequence[bool] | np.ndarray
+) -> float:
+    """Fraction of predictions matching the truth."""
+    truth, predictions = _as_bool_arrays(truth, predictions)
+    return float(np.mean(truth == predictions))
+
+
+def sensitivity_specificity(
+    truth: Sequence[bool] | np.ndarray, predictions: Sequence[bool] | np.ndarray
+) -> tuple[float, float]:
+    """Sensitivity (recall on positives) and specificity (recall on negatives).
+
+    If a class is absent from the truth, its recall is defined as 1.0 (there
+    was nothing to get wrong), matching the common g-mean convention.
+    """
+    counts = confusion_matrix(truth, predictions)
+    positives = counts["tp"] + counts["fn"]
+    negatives = counts["tn"] + counts["fp"]
+    sensitivity = counts["tp"] / positives if positives else 1.0
+    specificity = counts["tn"] / negatives if negatives else 1.0
+    return float(sensitivity), float(specificity)
+
+
+def g_mean(
+    truth: Sequence[bool] | np.ndarray, predictions: Sequence[bool] | np.ndarray
+) -> float:
+    """Geometric mean of sensitivity and specificity."""
+    sensitivity, specificity = sensitivity_specificity(truth, predictions)
+    return float(np.sqrt(sensitivity * specificity))
+
+
+def precision_recall(
+    truth: Sequence[bool] | np.ndarray, predictions: Sequence[bool] | np.ndarray
+) -> tuple[float, float]:
+    """Precision and recall of the positive class.
+
+    Precision is defined as 0.0 when nothing was predicted positive, and
+    recall as 0.0 when no true positives exist, which keeps the Table 4
+    aggregation well-defined.
+    """
+    counts = confusion_matrix(truth, predictions)
+    predicted_positive = counts["tp"] + counts["fp"]
+    actual_positive = counts["tp"] + counts["fn"]
+    precision = counts["tp"] / predicted_positive if predicted_positive else 0.0
+    recall = counts["tp"] / actual_positive if actual_positive else 0.0
+    return float(precision), float(recall)
+
+
+def f1_score(
+    truth: Sequence[bool] | np.ndarray, predictions: Sequence[bool] | np.ndarray
+) -> float:
+    """Harmonic mean of precision and recall."""
+    precision, recall = precision_recall(truth, predictions)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def pearson_correlation(
+    first: Sequence[float] | np.ndarray, second: Sequence[float] | np.ndarray
+) -> float:
+    """Pearson correlation coefficient between two numeric sequences."""
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    if first.shape != second.shape:
+        raise LearningError("inputs to pearson_correlation must have the same shape")
+    if first.size < 2:
+        raise LearningError("pearson correlation needs at least two observations")
+    first_std = first.std()
+    second_std = second.std()
+    if first_std == 0.0 or second_std == 0.0:
+        return 0.0
+    return float(np.mean((first - first.mean()) * (second - second.mean())) / (first_std * second_std))
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Bundle of all classification metrics for one evaluation."""
+
+    n_examples: int
+    accuracy: float
+    sensitivity: float
+    specificity: float
+    g_mean: float
+    precision: float
+    recall: float
+    f1: float
+
+    @classmethod
+    def from_predictions(
+        cls,
+        truth: Sequence[bool] | np.ndarray,
+        predictions: Sequence[bool] | np.ndarray,
+    ) -> "ClassificationReport":
+        """Compute every metric for one (truth, predictions) pair."""
+        truth_arr, pred_arr = _as_bool_arrays(truth, predictions)
+        sensitivity, specificity = sensitivity_specificity(truth_arr, pred_arr)
+        precision, recall = precision_recall(truth_arr, pred_arr)
+        return cls(
+            n_examples=int(truth_arr.size),
+            accuracy=accuracy(truth_arr, pred_arr),
+            sensitivity=sensitivity,
+            specificity=specificity,
+            g_mean=g_mean(truth_arr, pred_arr),
+            precision=precision,
+            recall=recall,
+            f1=f1_score(truth_arr, pred_arr),
+        )

@@ -1,0 +1,114 @@
+"""Cross-validation for factor-model hyper-parameters.
+
+The paper determines the dimensionality d and regularisation λ "by means of
+cross-validation on the rating data only" (Section 3.3).  This module
+implements exactly that: k-fold cross-validation of prediction RMSE over a
+grid of configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import PerceptualSpaceError
+from repro.perceptual.factorization import BaseFactorModel, FactorModelConfig
+from repro.perceptual.ratings import RatingDataset
+from repro.utils.rng import RandomState
+
+#: Factory turning a config into an unfitted model (e.g. ``EuclideanEmbeddingModel``).
+ModelFactory = Callable[[FactorModelConfig], BaseFactorModel]
+
+
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """RMSE statistics of one configuration."""
+
+    config: FactorModelConfig
+    fold_rmse: tuple[float, ...]
+
+    @property
+    def mean_rmse(self) -> float:
+        """Average validation RMSE over folds."""
+        return float(np.mean(self.fold_rmse))
+
+    @property
+    def std_rmse(self) -> float:
+        """Standard deviation of the validation RMSE over folds."""
+        return float(np.std(self.fold_rmse))
+
+
+def cross_validate_model(
+    factory: ModelFactory,
+    dataset: RatingDataset,
+    config: FactorModelConfig,
+    *,
+    n_folds: int = 3,
+    seed: RandomState = None,
+) -> CrossValidationResult:
+    """k-fold cross-validation RMSE of one configuration."""
+    folds = dataset.kfold_indices(n_folds, seed=seed)
+    all_indices = np.arange(dataset.n_ratings)
+    fold_rmse: list[float] = []
+    for fold in folds:
+        mask = np.ones(dataset.n_ratings, dtype=bool)
+        mask[fold] = False
+        train = dataset.take(all_indices[mask])
+        test = dataset.take(fold)
+        model = factory(config)
+        model.fit(train)
+        fold_rmse.append(model.rmse_on(test))
+    return CrossValidationResult(config=config, fold_rmse=tuple(fold_rmse))
+
+
+def select_hyperparameters(
+    factory: ModelFactory,
+    dataset: RatingDataset,
+    *,
+    n_factors_grid: Sequence[int] = (16, 32, 64),
+    regularization_grid: Sequence[float] = (0.002, 0.02, 0.2),
+    base_config: FactorModelConfig | None = None,
+    n_folds: int = 3,
+    seed: RandomState = None,
+) -> tuple[FactorModelConfig, list[CrossValidationResult]]:
+    """Grid-search d and λ by cross-validated RMSE.
+
+    Returns the best configuration and the full list of results, so callers
+    can reproduce the paper's observation that the exact choices matter
+    little as long as d is large enough.
+    """
+    if not n_factors_grid or not regularization_grid:
+        raise PerceptualSpaceError("hyper-parameter grids must not be empty")
+    base = base_config or FactorModelConfig()
+    results: list[CrossValidationResult] = []
+    for n_factors in n_factors_grid:
+        for regularization in regularization_grid:
+            config = FactorModelConfig(
+                n_factors=n_factors,
+                n_epochs=base.n_epochs,
+                learning_rate=base.learning_rate,
+                regularization=regularization,
+                batch_size=base.batch_size,
+                learning_rate_decay=base.learning_rate_decay,
+                init_scale=base.init_scale,
+                early_stopping_tolerance=base.early_stopping_tolerance,
+                seed=base.seed,
+            )
+            results.append(
+                cross_validate_model(factory, dataset, config, n_folds=n_folds, seed=seed)
+            )
+    best = min(results, key=lambda result: result.mean_rmse)
+    return best.config, results
+
+
+def grid_of_configs(
+    n_factors_grid: Iterable[int], regularization_grid: Iterable[float]
+) -> list[FactorModelConfig]:
+    """Materialise the configuration grid used by :func:`select_hyperparameters`."""
+    return [
+        FactorModelConfig(n_factors=d, regularization=lam)
+        for d in n_factors_grid
+        for lam in regularization_grid
+    ]

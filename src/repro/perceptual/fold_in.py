@@ -1,0 +1,142 @@
+"""Folding new items into an existing perceptual space.
+
+The paper notes that "each new movie added to the database will require
+similar HITs" under naive crowd-sourcing.  With a perceptual space the
+situation is better: once a new item has collected a handful of ratings,
+its coordinates can be estimated *without* retraining the whole factor
+model, by minimising the embedding objective over the new item's
+parameters only (the user coordinates stay fixed).  The schema-expansion
+extractor can then label the new item like any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PerceptualSpaceError
+from repro.perceptual.euclidean_embedding import EuclideanEmbeddingModel
+from repro.perceptual.space import PerceptualSpace
+from repro.utils.rng import RandomState, spawn_rng
+
+
+@dataclass(frozen=True)
+class FoldInResult:
+    """Outcome of folding one new item into the space."""
+
+    item_id: int
+    coordinates: np.ndarray
+    bias: float
+    n_ratings_used: int
+    final_rmse: float
+
+
+class ItemFoldIn:
+    """Estimates coordinates for new items against a fitted embedding model."""
+
+    def __init__(
+        self,
+        model: EuclideanEmbeddingModel,
+        *,
+        n_iterations: int = 200,
+        learning_rate: float = 0.05,
+        min_ratings: int = 3,
+        seed: RandomState = None,
+    ) -> None:
+        if model.user_factors is None or model.user_bias is None:
+            raise PerceptualSpaceError("the embedding model must be fitted before folding in items")
+        if n_iterations <= 0 or learning_rate <= 0:
+            raise PerceptualSpaceError("n_iterations and learning_rate must be positive")
+        if min_ratings < 1:
+            raise PerceptualSpaceError("min_ratings must be at least 1")
+        self.model = model
+        self.n_iterations = n_iterations
+        self.learning_rate = learning_rate
+        self.min_ratings = min_ratings
+        self._seed = seed
+
+    def fold_in(
+        self,
+        item_id: int,
+        ratings: Sequence[tuple[int, float]],
+    ) -> FoldInResult:
+        """Estimate coordinates for *item_id* from ``(user_id, score)`` pairs.
+
+        Only users already known to the model contribute; at least
+        ``min_ratings`` usable ratings are required.
+        """
+        model = self.model
+        assert model._dataset is not None  # guaranteed by the constructor check
+        usable: list[tuple[int, float]] = []
+        for user_id, score in ratings:
+            try:
+                usable.append((model._dataset.user_position(int(user_id)), float(score)))
+            except Exception:
+                continue
+        if len(usable) < self.min_ratings:
+            raise PerceptualSpaceError(
+                f"folding in item {item_id} needs at least {self.min_ratings} ratings "
+                f"from known users, got {len(usable)}"
+            )
+
+        user_idx = np.array([u for u, _s in usable])
+        scores = np.array([s for _u, s in usable])
+        users = model.user_factors[user_idx]
+        user_bias = model.user_bias[user_idx]
+        lam = model.config.regularization
+
+        rng = spawn_rng(self._seed, "fold-in", item_id)
+        coordinates = users.mean(axis=0) + rng.normal(0.0, 0.01, size=users.shape[1])
+        bias = float(np.mean(scores) - model.global_mean)
+
+        final_rmse = np.inf
+        learning_rate = self.learning_rate
+        for _ in range(self.n_iterations):
+            diff = coordinates[None, :] - users
+            squared_distance = np.einsum("ij,ij->i", diff, diff)
+            predictions = model.global_mean + bias + user_bias - squared_distance
+            errors = scores - predictions
+            grad_coordinates = np.mean(
+                (2.0 * errors + 2.0 * lam * squared_distance)[:, None] * diff, axis=0
+            )
+            grad_bias = float(np.mean(-errors) + lam * bias)
+            coordinates -= learning_rate * grad_coordinates
+            bias -= learning_rate * grad_bias
+            final_rmse = float(np.sqrt(np.mean(errors**2)))
+
+        return FoldInResult(
+            item_id=int(item_id),
+            coordinates=coordinates,
+            bias=bias,
+            n_ratings_used=len(usable),
+            final_rmse=final_rmse,
+        )
+
+    def extend_space(
+        self,
+        space: PerceptualSpace,
+        new_items: dict[int, Sequence[tuple[int, float]]],
+    ) -> tuple[PerceptualSpace, list[FoldInResult]]:
+        """Return a new space containing *space* plus the folded-in items.
+
+        Items that already exist in the space or that lack enough usable
+        ratings are skipped (reported by their absence from the results).
+        """
+        results: list[FoldInResult] = []
+        for item_id, ratings in sorted(new_items.items()):
+            if int(item_id) in space:
+                continue
+            try:
+                results.append(self.fold_in(int(item_id), ratings))
+            except PerceptualSpaceError:
+                continue
+        if not results:
+            return space, []
+        item_ids = space.item_ids + [result.item_id for result in results]
+        coordinates = np.vstack(
+            [space.coordinates] + [result.coordinates[None, :] for result in results]
+        )
+        extended = PerceptualSpace(item_ids, coordinates, metadata=dict(space.metadata))
+        return extended, results

@@ -1,0 +1,82 @@
+"""Persistence for rating datasets and perceptual spaces.
+
+Building a perceptual space is the most expensive step of the workflow, so
+a deployment builds it offline and reuses it across many schema-expansion
+queries.  Spaces are stored as ``.npz`` archives (coordinates + ids +
+metadata), rating datasets as ``.npz`` column arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import PerceptualSpaceError
+from repro.perceptual.ratings import RatingDataset
+from repro.perceptual.space import PerceptualSpace
+
+PathLike = Union[str, Path]
+
+
+def save_space(space: PerceptualSpace, path: PathLike) -> Path:
+    """Write *space* to ``path`` (an ``.npz`` archive) and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        item_ids=np.asarray(space.item_ids, dtype=np.int64),
+        coordinates=space.coordinates,
+        metadata=np.frombuffer(
+            json.dumps(space.metadata, default=str).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_space(path: PathLike) -> PerceptualSpace:
+    """Load a perceptual space previously written by :func:`save_space`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists():
+        raise PerceptualSpaceError(f"no perceptual space found at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        item_ids = archive["item_ids"].tolist()
+        coordinates = archive["coordinates"]
+        metadata_bytes = archive["metadata"].tobytes() if "metadata" in archive else b"{}"
+    try:
+        metadata = json.loads(metadata_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise PerceptualSpaceError(f"corrupt metadata in {path}") from exc
+    return PerceptualSpace(item_ids, coordinates, metadata=metadata)
+
+
+def save_ratings(dataset: RatingDataset, path: PathLike) -> Path:
+    """Write a rating dataset to ``path`` (an ``.npz`` archive)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        item_ids=dataset.item_ids[dataset.item_index],
+        user_ids=dataset.user_ids[dataset.user_index],
+        scores=dataset.scores,
+        scale=np.asarray(dataset.scale, dtype=np.float64),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_ratings(path: PathLike) -> RatingDataset:
+    """Load a rating dataset previously written by :func:`save_ratings`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists():
+        raise PerceptualSpaceError(f"no rating dataset found at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        scale = tuple(archive["scale"].tolist()) if "scale" in archive else (1.0, 5.0)
+        return RatingDataset(
+            archive["item_ids"], archive["user_ids"], archive["scores"], scale=scale
+        )

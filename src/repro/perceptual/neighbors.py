@@ -1,0 +1,92 @@
+"""Nearest-neighbour utilities over perceptual spaces.
+
+These helpers back the paper's Table 2 (example movies and their five
+nearest neighbours) and are also used for sanity checks of synthetic
+spaces.  Everything is brute force but chunked, which is plenty for the
+tens of thousands of items the experiments use.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PerceptualSpaceError
+from repro.perceptual.space import PerceptualSpace
+
+
+def pairwise_distances(
+    first: np.ndarray, second: np.ndarray | None = None, *, chunk_size: int = 2048
+) -> np.ndarray:
+    """Euclidean distance matrix between the rows of *first* and *second*.
+
+    Computed in chunks to bound peak memory for large item sets.
+    """
+    first = np.asarray(first, dtype=np.float64)
+    second = first if second is None else np.asarray(second, dtype=np.float64)
+    if first.ndim != 2 or second.ndim != 2:
+        raise PerceptualSpaceError("pairwise_distances expects 2-d arrays")
+    if first.shape[1] != second.shape[1]:
+        raise PerceptualSpaceError("dimensionality mismatch between the two point sets")
+    result = np.empty((first.shape[0], second.shape[0]), dtype=np.float64)
+    second_sq = np.einsum("ij,ij->i", second, second)
+    for start in range(0, first.shape[0], chunk_size):
+        block = first[start : start + chunk_size]
+        block_sq = np.einsum("ij,ij->i", block, block)
+        cross = block @ second.T
+        squared = block_sq[:, None] + second_sq[None, :] - 2.0 * cross
+        np.maximum(squared, 0.0, out=squared)
+        result[start : start + chunk_size] = np.sqrt(squared)
+    return result
+
+
+def nearest_neighbors(
+    space: PerceptualSpace,
+    item_id: int,
+    k: int = 5,
+    *,
+    candidate_ids: Sequence[int] | None = None,
+) -> list[tuple[int, float]]:
+    """The *k* nearest neighbours of *item_id* among *candidate_ids*.
+
+    Defaults to searching the whole space; the item itself is excluded.
+    """
+    if candidate_ids is None:
+        return space.nearest_neighbors(item_id, k)
+    query = space.vector(item_id)[None, :]
+    candidates = [int(c) for c in candidate_ids if int(c) != int(item_id)]
+    if not candidates:
+        return []
+    matrix = space.vectors(candidates)
+    distances = pairwise_distances(query, matrix)[0]
+    order = np.argsort(distances, kind="stable")[:k]
+    return [(candidates[i], float(distances[i])) for i in order]
+
+
+def neighborhood_purity(
+    space: PerceptualSpace,
+    labels: dict[int, bool],
+    *,
+    k: int = 10,
+    sample_ids: Sequence[int] | None = None,
+) -> float:
+    """Average fraction of an item's k nearest neighbours sharing its label.
+
+    A quick structural quality measure for perceptual spaces: spaces that
+    encode perception well place same-label items close together.
+    """
+    ids = [i for i in (sample_ids or space.item_ids) if i in labels]
+    if not ids:
+        raise PerceptualSpaceError("no labelled items to evaluate neighbourhood purity on")
+    labelled_ids = [i for i in space.item_ids if i in labels]
+    agreement = []
+    for item_id in ids:
+        neighbors = nearest_neighbors(space, item_id, k, candidate_ids=labelled_ids)
+        if not neighbors:
+            continue
+        same = sum(1 for neighbor_id, _d in neighbors if labels[neighbor_id] == labels[item_id])
+        agreement.append(same / len(neighbors))
+    if not agreement:
+        raise PerceptualSpaceError("no neighbourhoods could be evaluated")
+    return float(np.mean(agreement))

@@ -1,0 +1,67 @@
+"""The baseline SVD factor model (inner-product model).
+
+Section 3.3 of the paper introduces the "probably most elementary factor
+model", which predicts a rating as the scalar product of the item and user
+vectors and minimises the regularised mean squared error.  The paper argues
+that it is unclear how a meaningful similarity measure on items could be
+derived from it — it serves as the comparison point for the Euclidean
+embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perceptual.factorization import BaseFactorModel, FactorModelConfig
+from repro.perceptual.ratings import RatingDataset
+
+
+class SVDModel(BaseFactorModel):
+    """Inner-product matrix-factorisation model: ``r(m, u) ≈ a_m · b_u``."""
+
+    def __init__(self, config: FactorModelConfig | None = None) -> None:
+        super().__init__(config)
+        self.global_mean: float = 0.0
+
+    def _initialise(self, dataset: RatingDataset, rng: np.random.Generator) -> None:
+        scale = self.config.init_scale
+        d = self.config.n_factors
+        self.global_mean = dataset.global_mean
+        self.item_factors = rng.normal(0.0, scale, size=(dataset.n_items, d))
+        self.user_factors = rng.normal(0.0, scale, size=(dataset.n_users, d))
+
+    def _predict_batch(self, item_idx: np.ndarray, user_idx: np.ndarray) -> np.ndarray:
+        assert self.item_factors is not None and self.user_factors is not None
+        items = self.item_factors[item_idx]
+        users = self.user_factors[user_idx]
+        return self.global_mean + np.einsum("ij,ij->i", items, users)
+
+    def _update_batch(
+        self,
+        item_idx: np.ndarray,
+        user_idx: np.ndarray,
+        scores: np.ndarray,
+        learning_rate: float,
+    ) -> None:
+        assert self.item_factors is not None and self.user_factors is not None
+        lam = self.config.regularization
+        items = self.item_factors[item_idx]
+        users = self.user_factors[user_idx]
+        predictions = self.global_mean + np.einsum("ij,ij->i", items, users)
+        errors = scores - predictions
+
+        grad_items = -errors[:, None] * users + lam * items
+        grad_users = -errors[:, None] * items + lam * users
+
+        # Scatter-add the gradients, then average per entity so the step size
+        # does not scale with an item's/user's popularity within the batch.
+        item_update = np.zeros_like(self.item_factors)
+        user_update = np.zeros_like(self.user_factors)
+        np.add.at(item_update, item_idx, grad_items)
+        np.add.at(user_update, user_idx, grad_users)
+        item_counts = np.bincount(item_idx, minlength=self.item_factors.shape[0])
+        user_counts = np.bincount(user_idx, minlength=self.user_factors.shape[0])
+        item_update /= np.maximum(item_counts, 1)[:, None]
+        user_update /= np.maximum(user_counts, 1)[:, None]
+        self.item_factors -= learning_rate * item_update
+        self.user_factors -= learning_rate * user_update

@@ -1,0 +1,14 @@
+"""Shared utilities: deterministic RNG plumbing, timing and table rendering."""
+
+from repro.utils.rng import RandomState, derive_seed, ensure_rng
+from repro.utils.tables import format_table
+from repro.utils.timing import SimulatedClock, Stopwatch
+
+__all__ = [
+    "RandomState",
+    "derive_seed",
+    "ensure_rng",
+    "format_table",
+    "SimulatedClock",
+    "Stopwatch",
+]

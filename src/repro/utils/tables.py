@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment reports and benchmarks.
+
+The experiment harness prints the same rows the paper's tables report; this
+module renders them as aligned monospace tables without any third-party
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _stringify(value: object, float_format: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_format: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned plain-text table.
+
+    Floats are formatted with *float_format*; all other values use ``str``.
+    The first column is left-aligned, remaining columns are right-aligned,
+    matching the layout of the paper's result tables.
+    """
+    str_rows = [[_stringify(cell, float_format) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Clocks used by the crowd simulator and experiment harness.
+
+The crowd platform operates on *simulated* wall-clock minutes so that
+experiments reproducing the paper's timing results (e.g. Experiment 1
+completing in 105 minutes) run in milliseconds of real time.  Real elapsed
+time (for benchmark reporting) is measured with :class:`Stopwatch`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimulatedClock:
+    """A monotonically advancing simulated clock measured in minutes."""
+
+    now_minutes: float = 0.0
+    _history: list[float] = field(default_factory=list, repr=False)
+
+    def advance(self, minutes: float) -> float:
+        """Advance the clock by *minutes* (must be non-negative)."""
+        if minutes < 0:
+            raise ValueError(f"cannot advance clock by negative time: {minutes}")
+        self.now_minutes += minutes
+        self._history.append(self.now_minutes)
+        return self.now_minutes
+
+    def advance_to(self, minutes: float) -> float:
+        """Advance the clock to the absolute time *minutes* if it is later."""
+        if minutes > self.now_minutes:
+            self.advance(minutes - self.now_minutes)
+        return self.now_minutes
+
+    def reset(self) -> None:
+        """Reset the clock to time zero and clear its history."""
+        self.now_minutes = 0.0
+        self._history.clear()
+
+    @property
+    def history(self) -> tuple[float, ...]:
+        """All time points the clock has been advanced through."""
+        return tuple(self._history)
+
+
+class Stopwatch:
+    """Small context-manager stopwatch measuring real elapsed seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed_seconds: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed_seconds = time.perf_counter() - self._start
+            self._start = None
+
+    def running(self) -> bool:
+        """Return True while the stopwatch is started and not yet stopped."""
+        return self._start is not None

@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite.
+
+Heavy artefacts (corpora, perceptual spaces, the experiment context) are
+session-scoped so the several hundred tests stay fast; everything is built
+from fixed seeds so failures are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.movies import build_movie_corpus
+from repro.db.database import CrowdDatabase
+from repro.experiments.context import MovieExperimentConfig, get_movie_context
+from repro.perceptual.euclidean_embedding import EuclideanEmbeddingModel
+from repro.perceptual.factorization import FactorModelConfig
+from repro.perceptual.ratings import RatingDataset
+
+
+@pytest.fixture(scope="session")
+def movie_context():
+    """The small movie experiment context shared by experiment tests."""
+    return get_movie_context(MovieExperimentConfig.small())
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small synthetic movie corpus for dataset and core tests."""
+    return build_movie_corpus(n_movies=200, n_users=500, ratings_per_user=30, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_space(small_corpus):
+    """A perceptual space trained on the small corpus."""
+    model = EuclideanEmbeddingModel(
+        FactorModelConfig(n_factors=12, n_epochs=10, seed=0)
+    )
+    model.fit(small_corpus.ratings)
+    return model.to_space()
+
+
+@pytest.fixture(scope="session")
+def tiny_ratings():
+    """A tiny deterministic rating dataset (structured, not random)."""
+    rng = np.random.default_rng(7)
+    items = rng.integers(1, 61, size=4000)
+    users = rng.integers(1, 201, size=4000)
+    scores = np.clip(np.rint(rng.normal(3.5, 1.0, size=4000)), 1, 5)
+    return RatingDataset(items, users, scores)
+
+
+@pytest.fixture
+def movies_db() -> CrowdDatabase:
+    """A fresh database with a small movies table."""
+    db = CrowdDatabase()
+    db.execute(
+        "CREATE TABLE movies ("
+        " movie_id INTEGER PRIMARY KEY,"
+        " name TEXT NOT NULL,"
+        " year INTEGER,"
+        " rating REAL,"
+        " humor REAL PERCEPTUAL)"
+    )
+    db.execute(
+        "INSERT INTO movies (movie_id, name, year, rating) VALUES "
+        "(1, 'Rocky', 1976, 8.1), "
+        "(2, 'Psycho', 1960, 8.5), "
+        "(3, 'Airplane!', 1980, 7.7), "
+        "(4, 'Vertigo', 1958, 8.3), "
+        "(5, 'Dirty Dancing', 1987, 7.0)"
+    )
+    return db
+
+
+@pytest.fixture
+def blob_classification_data():
+    """Two separable Gaussian blobs for classifier tests."""
+    rng = np.random.default_rng(3)
+    n = 60
+    X = np.vstack([rng.normal(0.0, 1.0, (n, 6)), rng.normal(2.2, 1.0, (n, 6))])
+    y = np.array([False] * n + [True] * n)
+    return X, y

@@ -1,0 +1,73 @@
+"""Tests for gold-sample collection via the simulated crowd."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gold_sample import GoldSample, GoldSampleCollector
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.worker import WorkerPool
+from repro.errors import ExpansionError
+
+
+@pytest.fixture(scope="module")
+def truth() -> dict[int, bool]:
+    rng = np.random.default_rng(1)
+    return {i: bool(rng.random() < 0.3) for i in range(1, 301)}
+
+
+@pytest.fixture(scope="module")
+def collector() -> GoldSampleCollector:
+    platform = CrowdPlatform(seed=5)
+    pool = WorkerPool.build(n_experts=15, seed=5)
+    return GoldSampleCollector(platform, pool, judgments_per_item=5, seed=5)
+
+
+class TestGoldSampleDataclass:
+    def test_positive_negative_partition(self):
+        sample = GoldSample("x", {1: True, 2: False, 3: True}, cost=1.0, minutes=2.0, judgments_used=15)
+        assert sample.positive_ids == [1, 3]
+        assert sample.negative_ids == [2]
+        assert len(sample) == 3
+        assert sample.is_balanced()
+        assert not sample.is_balanced(minimum_per_class=2)
+
+
+class TestCollection:
+    def test_collect_produces_accurate_labels(self, collector, truth):
+        sample = collector.collect("is_comedy", sorted(truth), truth, sample_size=80)
+        assert 40 <= len(sample) <= 80
+        agreement = np.mean([truth[i] == label for i, label in sample.labels.items()])
+        assert agreement > 0.85
+        assert sample.cost > 0
+        assert sample.minutes > 0
+        assert sample.judgments_used > 0
+
+    def test_sample_size_capped_by_candidates(self, collector, truth):
+        sample = collector.collect("x", list(truth)[:20], truth, sample_size=100)
+        assert len(sample) <= 20
+
+    def test_collect_balanced_retries_until_both_classes(self, collector, truth):
+        sample = collector.collect_balanced("x", sorted(truth), truth, sample_size=30)
+        assert sample.is_balanced(minimum_per_class=3)
+
+    def test_empty_candidates_rejected(self, collector, truth):
+        with pytest.raises(ExpansionError):
+            collector.collect("x", [], truth)
+
+    def test_invalid_judgments_per_item(self):
+        platform = CrowdPlatform(seed=1)
+        pool = WorkerPool.build(n_experts=3, seed=1)
+        with pytest.raises(ExpansionError):
+            GoldSampleCollector(platform, pool, judgments_per_item=0)
+
+    def test_deterministic_given_seed(self, truth):
+        def build():
+            platform = CrowdPlatform(seed=9)
+            pool = WorkerPool.build(n_experts=10, seed=9)
+            return GoldSampleCollector(platform, pool, seed=9)
+
+        first = build().collect("x", sorted(truth), truth, sample_size=40)
+        second = build().collect("x", sorted(truth), truth, sample_size=40)
+        assert first.labels == second.labels

@@ -1,0 +1,46 @@
+"""Tests for the expansion ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ledger import ExpansionLedger
+
+
+class TestExpansionLedger:
+    def test_record_and_totals(self):
+        ledger = ExpansionLedger()
+        ledger.record("gold_sample", "is_comedy", cost=2.0, minutes=15.0, judgments=500, values_obtained=100)
+        ledger.record("extraction", "is_comedy", values_obtained=900)
+        ledger.record("gold_sample", "is_scary", cost=1.0, minutes=10.0, judgments=250, values_obtained=50)
+
+        assert ledger.total_cost == pytest.approx(3.0)
+        assert ledger.total_minutes == pytest.approx(25.0)
+        assert ledger.total_judgments == 750
+        assert ledger.total_values_obtained == 1050
+        assert len(ledger.entries) == 3
+
+    def test_for_attribute(self):
+        ledger = ExpansionLedger()
+        ledger.record("a", "is_comedy", cost=1.0)
+        ledger.record("b", "is_scary", cost=2.0)
+        assert len(ledger.for_attribute("is_comedy")) == 1
+        assert ledger.for_attribute("is_scary")[0].cost == 2.0
+
+    def test_cost_per_value(self):
+        ledger = ExpansionLedger()
+        assert ledger.cost_per_value() == 0.0
+        ledger.record("a", "x", cost=5.0, values_obtained=100)
+        assert ledger.cost_per_value() == pytest.approx(0.05)
+
+    def test_summary_keys(self):
+        ledger = ExpansionLedger()
+        ledger.record("a", "x", cost=1.0, minutes=2.0, judgments=3, values_obtained=4)
+        summary = ledger.summary()
+        assert set(summary) == {
+            "total_cost",
+            "total_minutes",
+            "total_judgments",
+            "total_values_obtained",
+            "cost_per_value",
+        }

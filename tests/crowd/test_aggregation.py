@@ -1,0 +1,146 @@
+"""Tests for judgment aggregation (majority vote, weighted vote, scoring)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crowd.aggregation import (
+    MajorityVote,
+    WeightedVote,
+    group_judgments,
+    score_against_truth,
+)
+from repro.crowd.hit import Answer, Judgment
+
+
+def judgment(item_id: int, worker_id: int, answer: Answer) -> Judgment:
+    return Judgment(
+        item_id=item_id,
+        worker_id=worker_id,
+        answer=answer,
+        hit_id=1,
+        timestamp_minutes=1.0,
+    )
+
+
+def votes(item_id: int, positives: int, negatives: int, dont_know: int = 0) -> list[Judgment]:
+    result = []
+    worker = 1
+    for _ in range(positives):
+        result.append(judgment(item_id, worker, Answer.POSITIVE))
+        worker += 1
+    for _ in range(negatives):
+        result.append(judgment(item_id, worker, Answer.NEGATIVE))
+        worker += 1
+    for _ in range(dont_know):
+        result.append(judgment(item_id, worker, Answer.DONT_KNOW))
+        worker += 1
+    return result
+
+
+class TestMajorityVote:
+    def test_clear_majorities(self):
+        outcomes = MajorityVote().aggregate(votes(1, 6, 4) + votes(2, 1, 9))
+        assert outcomes[1].label is True
+        assert outcomes[2].label is False
+
+    def test_tie_is_unclassified(self):
+        outcome = MajorityVote().aggregate_item(1, votes(1, 5, 5))
+        assert outcome.label is None
+        assert not outcome.classified
+
+    def test_dont_know_is_ignored(self):
+        outcome = MajorityVote().aggregate_item(1, votes(1, 2, 1, dont_know=7))
+        assert outcome.label is True
+        assert outcome.dont_know_votes == 7
+
+    def test_only_dont_know_is_unclassified(self):
+        outcome = MajorityVote().aggregate_item(1, votes(1, 0, 0, dont_know=10))
+        assert outcome.label is None
+
+    def test_minimum_votes(self):
+        aggregator = MajorityVote(minimum_votes=3)
+        assert aggregator.aggregate_item(1, votes(1, 2, 0)).label is None
+        assert aggregator.aggregate_item(1, votes(1, 3, 0)).label is True
+
+    def test_minimum_votes_validation(self):
+        with pytest.raises(ValueError):
+            MajorityVote(minimum_votes=0)
+
+    def test_labels_only_returns_classified(self):
+        labels = MajorityVote().labels(votes(1, 3, 1) + votes(2, 2, 2))
+        assert labels == {1: True}
+
+    def test_margin_and_total(self):
+        outcome = MajorityVote().aggregate_item(1, votes(1, 6, 2, dont_know=1))
+        assert outcome.margin == 4
+        assert outcome.total_votes == 9
+
+    def test_group_judgments(self):
+        grouped = group_judgments(votes(1, 1, 0) + votes(2, 0, 1))
+        assert set(grouped) == {1, 2}
+
+
+class TestWeightedVote:
+    def test_weights_can_flip_decision(self):
+        judgments = votes(1, 2, 1)
+        unweighted = MajorityVote().aggregate_item(1, judgments)
+        assert unweighted.label is True
+        # The single negative voter (worker 3) gets a huge weight.
+        weighted = WeightedVote({3: 10.0}).aggregate_item(1, judgments)
+        assert weighted.label is False
+
+    def test_default_weight(self):
+        aggregator = WeightedVote(default_weight=2.0)
+        assert aggregator.weight_of(42) == 2.0
+
+    def test_negative_default_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedVote(default_weight=-1.0)
+
+    def test_equal_weights_match_majority(self):
+        judgments = votes(1, 4, 2, dont_know=2)
+        weighted = WeightedVote().aggregate(judgments)
+        majority = MajorityVote().aggregate(judgments)
+        assert weighted[1].label == majority[1].label
+
+    def test_tie_on_weights_is_unclassified(self):
+        assert WeightedVote().aggregate_item(1, votes(1, 2, 2)).label is None
+
+
+class TestScoring:
+    def test_score_against_truth(self):
+        outcomes = MajorityVote().aggregate(votes(1, 5, 1) + votes(2, 1, 5) + votes(3, 3, 3))
+        truth = {1: True, 2: True, 3: False, 4: False}
+        report = score_against_truth(outcomes, truth)
+        assert report.n_items == 4
+        assert report.n_classified == 2
+        assert report.n_correct == 1
+        assert report.coverage == pytest.approx(0.5)
+        assert report.accuracy_on_classified == pytest.approx(0.5)
+        assert report.accuracy_overall == pytest.approx(0.25)
+
+    def test_empty_truth(self):
+        report = score_against_truth({}, {})
+        assert report.coverage == 0.0
+        assert report.accuracy_on_classified == 0.0
+
+
+class TestMajorityVoteProperties:
+    @given(st.integers(0, 20), st.integers(0, 20), st.integers(0, 20))
+    def test_label_follows_strict_majority(self, positives, negatives, dont_know):
+        outcome = MajorityVote().aggregate_item(1, votes(1, positives, negatives, dont_know))
+        if positives > negatives:
+            assert outcome.label is True
+        elif negatives > positives:
+            assert outcome.label is False
+        else:
+            assert outcome.label is None
+
+    @given(st.integers(0, 20), st.integers(0, 20))
+    def test_vote_counts_preserved(self, positives, negatives):
+        outcome = MajorityVote().aggregate_item(1, votes(1, positives, negatives))
+        assert outcome.positive_votes == positives
+        assert outcome.negative_votes == negatives

@@ -1,0 +1,154 @@
+"""Tests for the crowd-backed operators (fill, compare, order)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.crowd_operators import (
+    CallableValueSource,
+    CrowdCompareOperator,
+    CrowdFillOperator,
+    CrowdOrderOperator,
+    StaticValueSource,
+)
+from repro.db.schema import Column, TableSchema, perceptual_column
+from repro.db.storage import TableStorage
+from repro.db.types import MISSING, ColumnType, is_missing
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def table() -> TableStorage:
+    schema = TableSchema(
+        "movies",
+        [
+            Column("item_id", ColumnType.INTEGER, nullable=False),
+            Column("name", ColumnType.TEXT),
+            perceptual_column("humor"),
+        ],
+        primary_key="item_id",
+    )
+    storage = TableStorage(schema)
+    for item_id in range(1, 11):
+        storage.insert({"item_id": item_id, "name": f"Movie {item_id}"})
+    return storage
+
+
+class TestCrowdFill:
+    def test_fill_everything(self, table):
+        source = CallableValueSource(lambda attr, rowid, row: float(row["item_id"]))
+        report = CrowdFillOperator(source).fill(table, "humor")
+        assert report.requested == 10
+        assert report.filled == 10
+        assert report.coverage == 1.0
+        assert table.missing_rowids("humor") == []
+
+    def test_partial_fill_reports_unresolved(self, table):
+        source = CallableValueSource(
+            lambda attr, rowid, row: 5.0 if row["item_id"] % 2 == 0 else MISSING
+        )
+        report = CrowdFillOperator(source).fill(table, "humor")
+        assert report.filled == 5
+        assert len(report.unresolved_rowids) == 5
+        assert report.coverage == 0.5
+
+    def test_fill_specific_rowids(self, table):
+        source = StaticValueSource({1: 9.0, 2: 8.0})
+        report = CrowdFillOperator(source).fill(table, "humor", rowids=[1, 2, 3])
+        assert report.filled == 2
+        assert report.unresolved_rowids == [3]
+
+    def test_fill_respects_batch_size(self, table):
+        batches = []
+
+        class RecordingSource:
+            def request_values(self, attribute, items):
+                batches.append(len(items))
+                return {rowid: 1.0 for rowid, _row in items}
+
+        CrowdFillOperator(RecordingSource()).fill(table, "humor", batch_size=3)
+        assert batches == [3, 3, 3, 1]
+
+    def test_invalid_batch_size(self, table):
+        with pytest.raises(ExecutionError):
+            CrowdFillOperator(StaticValueSource({})).fill(table, "humor", batch_size=0)
+
+    def test_nothing_missing_is_noop(self, table):
+        source = StaticValueSource({rowid: 1.0 for rowid in table.rowids()})
+        CrowdFillOperator(source).fill(table, "humor")
+        report = CrowdFillOperator(StaticValueSource({})).fill(table, "humor")
+        assert report.requested == 0
+        assert report.coverage == 1.0
+
+
+class TestCrowdCompareAndOrder:
+    def test_compare_sign_normalisation(self):
+        class Source:
+            def compare(self, criterion, left, right):
+                return left["v"] - right["v"]
+
+        operator = CrowdCompareOperator(Source())
+        assert operator.compare("humor", {"v": 3}, {"v": 1}) == 1
+        assert operator.compare("humor", {"v": 1}, {"v": 3}) == -1
+        assert operator.compare("humor", {"v": 2}, {"v": 2}) == 0
+
+    def test_compare_rejects_non_numeric(self):
+        class BadSource:
+            def compare(self, criterion, left, right):
+                return "better"
+
+        with pytest.raises(ExecutionError):
+            CrowdCompareOperator(BadSource()).compare("humor", {}, {})
+
+    def test_order_sorts_descending_by_default(self):
+        class Source:
+            def compare(self, criterion, left, right):
+                return left["v"] - right["v"]
+
+        rows = [{"v": v} for v in [3, 1, 4, 1, 5, 9, 2, 6]]
+        operator = CrowdOrderOperator(Source())
+        ordered = operator.order(rows, "humor")
+        assert [row["v"] for row in ordered] == sorted([3, 1, 4, 1, 5, 9, 2, 6], reverse=True)
+
+    def test_order_ascending(self):
+        class Source:
+            def compare(self, criterion, left, right):
+                return left["v"] - right["v"]
+
+        rows = [{"v": v} for v in [5, 2, 7]]
+        ordered = CrowdOrderOperator(Source()).order(rows, "humor", descending=False)
+        assert [row["v"] for row in ordered] == [2, 5, 7]
+
+    def test_order_uses_n_log_n_comparisons(self):
+        class Source:
+            def compare(self, criterion, left, right):
+                return left["v"] - right["v"]
+
+        rows = [{"v": v} for v in range(32)]
+        operator = CrowdOrderOperator(Source())
+        operator.order(rows, "humor")
+        exhaustive = 32 * 31 // 2
+        assert 0 < operator.comparisons_used < exhaustive
+
+    def test_order_of_single_row(self):
+        class Source:
+            def compare(self, criterion, left, right):  # pragma: no cover
+                raise AssertionError("no comparisons needed")
+
+        ordered = CrowdOrderOperator(Source()).order([{"v": 1}], "humor")
+        assert ordered == [{"v": 1}]
+
+
+class TestValueSources:
+    def test_callable_source_skips_missing(self):
+        source = CallableValueSource(lambda attr, rowid, row: MISSING)
+        assert source.request_values("humor", [(1, {})]) == {}
+
+    def test_static_source_ignores_unknown_rowids(self):
+        source = StaticValueSource({1: True})
+        assert source.request_values("x", [(1, {}), (2, {})]) == {1: True}
+
+    def test_static_source_skips_missing_values(self):
+        source = StaticValueSource({1: MISSING})
+        assert source.request_values("x", [(1, {})]) == {}
+        assert not is_missing(source.request_values("x", [(1, {})]).get(1, None))

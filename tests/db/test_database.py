@@ -1,0 +1,109 @@
+"""Tests for the CrowdDatabase facade (expansion hook, helpers, scripts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import CrowdDatabase
+from repro.db.schema import Column, TableSchema
+from repro.db.types import ColumnType, is_missing
+from repro.errors import ExecutionError, UnknownColumnError
+
+
+class TestFacadeBasics:
+    def test_execute_script(self):
+        db = CrowdDatabase()
+        results = db.execute_script(
+            "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); SELECT a FROM t"
+        )
+        assert len(results) == 3
+        assert results[-1].rows == [(1,)]
+
+    def test_create_table_from_schema_object(self):
+        db = CrowdDatabase()
+        schema = TableSchema("t", [Column("a", ColumnType.INTEGER)])
+        db.create_table(schema)
+        assert "t" in db.table_names()
+
+    def test_insert_rows_and_column_values(self, movies_db):
+        values = movies_db.column_values("movies", "name")
+        assert sorted(values.values())[0] == "Airplane!"
+
+    def test_describe(self, movies_db):
+        description = movies_db.describe("movies")
+        names = [d["name"] for d in description]
+        assert names == ["movie_id", "name", "year", "rating", "humor"]
+
+    def test_missing_count(self, movies_db):
+        assert movies_db.missing_count("movies", "humor") == 5
+
+    def test_add_perceptual_column(self, movies_db):
+        column = movies_db.add_perceptual_column("movies", "suspense")
+        assert column.name == "suspense"
+        assert movies_db.missing_count("movies", "suspense") == 5
+
+    def test_statement_log(self, movies_db):
+        movies_db.execute("SELECT 1")
+        assert movies_db.statement_log[-1] == "SELECT 1"
+
+    def test_repr_lists_tables(self, movies_db):
+        assert "movies" in repr(movies_db)
+
+    def test_explain_rejects_non_select(self, movies_db):
+        with pytest.raises(ExecutionError):
+            movies_db.explain("DELETE FROM movies")
+
+
+class TestExpansionHook:
+    def test_unknown_column_without_handler_raises(self, movies_db):
+        with pytest.raises(UnknownColumnError):
+            movies_db.execute("SELECT name FROM movies WHERE is_comedy = true")
+
+    def test_handler_expands_and_retries(self, movies_db):
+        calls = []
+
+        def handler(table, column):
+            calls.append((table, column))
+            movies_db.add_perceptual_column(table, column, ColumnType.BOOLEAN)
+            storage = movies_db.table(table)
+            storage.fill_values(column, {rowid: True for rowid in storage.rowids()})
+            return True
+
+        movies_db.set_expansion_handler(handler)
+        result = movies_db.execute("SELECT name FROM movies WHERE is_comedy = true")
+        assert len(result) == 5
+        assert calls == [("movies", "is_comedy")]
+
+    def test_handler_refusal_propagates_error(self, movies_db):
+        movies_db.set_expansion_handler(lambda table, column: False)
+        with pytest.raises(UnknownColumnError):
+            movies_db.execute("SELECT name FROM movies WHERE is_comedy = true")
+
+    def test_expansion_disabled_per_statement(self, movies_db):
+        movies_db.set_expansion_handler(lambda table, column: True)
+        with pytest.raises(UnknownColumnError):
+            movies_db.execute(
+                "SELECT name FROM movies WHERE is_comedy = true", allow_expansion=False
+            )
+
+    def test_handler_not_used_for_dml(self, movies_db):
+        movies_db.set_expansion_handler(lambda table, column: True)
+        with pytest.raises(UnknownColumnError):
+            movies_db.execute("UPDATE movies SET is_comedy = true")
+
+    def test_handler_only_called_once_per_query(self, movies_db):
+        calls = []
+
+        def handler(table, column):
+            calls.append(column)
+            movies_db.add_perceptual_column(table, column, ColumnType.BOOLEAN)
+            return True
+
+        movies_db.set_expansion_handler(handler)
+        result = movies_db.execute("SELECT name FROM movies WHERE is_comedy = true")
+        # Column added but all values MISSING, so the filter matches nothing.
+        assert result.rows == []
+        assert calls == ["is_comedy"]
+        assert all(
+            is_missing(v) for v in movies_db.column_values("movies", "is_comedy").values()
+        )

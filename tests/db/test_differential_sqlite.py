@@ -1,0 +1,172 @@
+"""Differential tests: the repro SQL engine vs. the sqlite3 reference.
+
+Random tables and a family of query shapes (filters, aggregates, grouping,
+ordering, joins) are executed on both engines; results must agree.  Query
+shapes are restricted to the semantics both engines share (no NULLs in
+ordering keys, no integer division), which covers everything the
+schema-expansion workloads use.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.db.database import CrowdDatabase
+
+_NAMES = ("alpha", "beta", "gamma", "delta", "rho", "omega")
+
+
+@st.composite
+def table_rows(draw):
+    """Random (id, name, year, score) rows with unique ids."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    names = [draw(st.sampled_from(_NAMES)) for _ in range(n)]
+    years = [draw(st.integers(min_value=1950, max_value=2012)) for _ in range(n)]
+    scores = [draw(st.integers(min_value=0, max_value=100)) for _ in range(n)]
+    return [
+        (index + 1, names[index], years[index], scores[index]) for index in range(n)
+    ]
+
+
+def build_engines(rows):
+    """Load the same rows into a CrowdDatabase and an in-memory sqlite3 db."""
+    ours = CrowdDatabase()
+    ours.execute(
+        "CREATE TABLE movies (movie_id INTEGER PRIMARY KEY, name TEXT, year INTEGER, score INTEGER)"
+    )
+    reference = sqlite3.connect(":memory:")
+    reference.execute(
+        "CREATE TABLE movies (movie_id INTEGER PRIMARY KEY, name TEXT, year INTEGER, score INTEGER)"
+    )
+    for movie_id, name, year, score in rows:
+        ours.execute(
+            f"INSERT INTO movies VALUES ({movie_id}, '{name}', {year}, {score})"
+        )
+        reference.execute(
+            "INSERT INTO movies VALUES (?, ?, ?, ?)", (movie_id, name, year, score)
+        )
+    return ours, reference
+
+
+def both(rows, sql: str):
+    """Run *sql* on both engines and return (ours, reference) row lists."""
+    ours, reference = build_engines(rows)
+    mine = [tuple(row) for row in ours.execute(sql).rows]
+    theirs = [tuple(row) for row in reference.execute(sql).fetchall()]
+    reference.close()
+    return mine, theirs
+
+
+def normalise(rows):
+    """Sort rows so order-insensitive comparisons are stable."""
+    return sorted(tuple(float(c) if isinstance(c, (int, float)) else c for c in row) for row in rows)
+
+
+common_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestDifferentialAgainstSqlite:
+    @common_settings
+    @given(table_rows(), st.integers(1950, 2012))
+    def test_filter_and_projection(self, rows, threshold):
+        sql = f"SELECT name, year FROM movies WHERE year >= {threshold}"
+        mine, theirs = both(rows, sql)
+        assert normalise(mine) == normalise(theirs)
+
+    @common_settings
+    @given(table_rows(), st.integers(0, 100), st.integers(0, 100))
+    def test_between_and_conjunction(self, rows, low, high):
+        low, high = min(low, high), max(low, high)
+        sql = (
+            f"SELECT movie_id FROM movies WHERE score BETWEEN {low} AND {high} "
+            f"AND year > 1960"
+        )
+        mine, theirs = both(rows, sql)
+        assert normalise(mine) == normalise(theirs)
+
+    @common_settings
+    @given(table_rows(), st.sampled_from(_NAMES))
+    def test_string_equality_and_in(self, rows, name):
+        sql = f"SELECT movie_id FROM movies WHERE name = '{name}' OR year IN (1960, 1980, 2000)"
+        mine, theirs = both(rows, sql)
+        assert normalise(mine) == normalise(theirs)
+
+    @common_settings
+    @given(table_rows())
+    def test_like_prefix(self, rows):
+        sql = "SELECT name FROM movies WHERE name LIKE 'a%'"
+        mine, theirs = both(rows, sql)
+        assert normalise(mine) == normalise(theirs)
+
+    @common_settings
+    @given(table_rows())
+    def test_global_aggregates(self, rows):
+        sql = "SELECT count(*), min(year), max(year), sum(score) FROM movies"
+        mine, theirs = both(rows, sql)
+        assert normalise(mine) == normalise(theirs)
+
+    @common_settings
+    @given(table_rows())
+    def test_group_by_having(self, rows):
+        sql = (
+            "SELECT name, count(*), max(score) FROM movies "
+            "GROUP BY name HAVING count(*) >= 1"
+        )
+        mine, theirs = both(rows, sql)
+        assert normalise(mine) == normalise(theirs)
+
+    @common_settings
+    @given(table_rows(), st.integers(1, 5))
+    def test_order_by_with_limit(self, rows, limit):
+        sql = (
+            f"SELECT movie_id, score FROM movies ORDER BY score DESC, movie_id ASC LIMIT {limit}"
+        )
+        mine, theirs = both(rows, sql)
+        assert mine == theirs  # order-sensitive comparison
+
+    @common_settings
+    @given(table_rows())
+    def test_distinct(self, rows):
+        sql = "SELECT DISTINCT name FROM movies"
+        mine, theirs = both(rows, sql)
+        assert normalise(mine) == normalise(theirs)
+
+    @common_settings
+    @given(table_rows())
+    def test_arithmetic_projection(self, rows):
+        sql = "SELECT movie_id, score * 2 + 1 FROM movies WHERE score * 2 > 50"
+        mine, theirs = both(rows, sql)
+        assert normalise(mine) == normalise(theirs)
+
+    @common_settings
+    @given(table_rows())
+    def test_self_join_on_year(self, rows):
+        sql = (
+            "SELECT a.movie_id, b.movie_id FROM movies a JOIN movies b "
+            "ON a.year = b.year WHERE a.movie_id < b.movie_id"
+        )
+        mine, theirs = both(rows, sql)
+        assert normalise(mine) == normalise(theirs)
+
+
+class TestKnownSemanticDifferencesAreContained:
+    """Behaviours where the engine intentionally differs from sqlite."""
+
+    def test_missing_marker_has_no_sqlite_equivalent(self):
+        db = CrowdDatabase()
+        db.execute("CREATE TABLE t (a INTEGER, humor REAL PERCEPTUAL)")
+        db.execute("INSERT INTO t (a) VALUES (1)")
+        assert db.execute("SELECT count(*) FROM t WHERE humor IS MISSING").scalar() == 1
+        assert db.execute("SELECT count(humor) FROM t").scalar() == 0
+
+    def test_true_division_for_integers(self):
+        db = CrowdDatabase()
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (3)")
+        assert db.execute("SELECT a / 2 FROM t").scalar() == pytest.approx(1.5)

@@ -1,0 +1,124 @@
+"""Tests for the SQL tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.sql.tokenizer import Token, TokenType, tokenize
+from repro.errors import SQLSyntaxError
+
+
+def token_values(sql: str) -> list[tuple[TokenType, str]]:
+    return [(t.type, t.value) for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        tokens = token_values("select from where")
+        assert tokens == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_are_lowercased(self):
+        tokens = token_values("Movies MovieName")
+        assert tokens == [
+            (TokenType.IDENTIFIER, "movies"),
+            (TokenType.IDENTIFIER, "moviename"),
+        ]
+
+    def test_quoted_identifier(self):
+        tokens = token_values('"Weird Name"')
+        assert tokens == [(TokenType.IDENTIFIER, "weird name")]
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('"oops')
+
+    def test_numbers(self):
+        tokens = token_values("42 3.14 1e5 2.5e-3")
+        assert [v for _t, v in tokens] == ["42", "3.14", "1e5", "2.5e-3"]
+        assert all(t is TokenType.NUMBER for t, _v in tokens)
+
+    def test_string_literal(self):
+        tokens = token_values("'hello world'")
+        assert tokens == [(TokenType.STRING, "hello world")]
+
+    def test_string_with_escaped_quote(self):
+        tokens = token_values("'it''s'")
+        assert tokens == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        tokens = token_values("a <= b >= c <> d != e || f")
+        operators = [v for t, v in tokens if t is TokenType.OPERATOR]
+        assert operators == ["<=", ">=", "<>", "!=", "||"]
+
+    def test_punctuation(self):
+        tokens = token_values("(a, b);")
+        assert (TokenType.PUNCTUATION, "(") in tokens
+        assert (TokenType.PUNCTUATION, ",") in tokens
+        assert (TokenType.PUNCTUATION, ";") in tokens
+
+    def test_star_is_operator(self):
+        tokens = token_values("SELECT * FROM t")
+        assert (TokenType.OPERATOR, "*") in tokens
+
+    def test_comments_are_skipped(self):
+        tokens = token_values("SELECT a -- this is a comment\nFROM t")
+        values = [v for _t, v in tokens]
+        assert "comment" not in values
+        assert values == ["SELECT", "a", "FROM", "t"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError) as error:
+            tokenize("SELECT ?")
+        assert error.value.position is not None
+
+    def test_eof_token_is_last(self):
+        tokens = tokenize("SELECT 1")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_positions_are_recorded(self):
+        tokens = tokenize("SELECT name")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_is_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")
+
+
+class TestTokenizerProperties:
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_integer_literals_roundtrip(self, value):
+        tokens = tokenize(str(value))
+        assert tokens[0].type is TokenType.NUMBER
+        assert int(tokens[0].value) == value
+
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=127), min_size=1, max_size=20))
+    def test_identifier_roundtrip(self, name):
+        tokens = tokenize(name)
+        first = tokens[0]
+        assert first.type in (TokenType.IDENTIFIER, TokenType.KEYWORD)
+        assert first.value.lower() == name.lower()
+
+    @given(st.text(alphabet=st.characters(blacklist_characters="'", max_codepoint=127), max_size=30))
+    def test_string_literal_roundtrip(self, content):
+        tokens = tokenize(f"'{content}'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == content
+
+    @given(st.lists(st.sampled_from(["SELECT", "a", "1", "+", "(", ")", ",", "'x'"]), max_size=15))
+    def test_tokenization_never_crashes_on_valid_pieces(self, pieces):
+        sql = " ".join(pieces)
+        tokens = tokenize(sql)
+        assert tokens[-1].type is TokenType.EOF

@@ -1,0 +1,158 @@
+"""Tests for value types, coercion and MISSING semantics."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.types import (
+    MISSING,
+    ColumnType,
+    Missing,
+    coerce_value,
+    is_absent,
+    is_missing,
+    python_type_of,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestMissingSingleton:
+    def test_missing_is_singleton(self):
+        assert Missing() is MISSING
+        assert Missing() is Missing()
+
+    def test_missing_is_falsy(self):
+        assert not MISSING
+
+    def test_missing_repr(self):
+        assert repr(MISSING) == "MISSING"
+
+    def test_is_missing(self):
+        assert is_missing(MISSING)
+        assert not is_missing(None)
+        assert not is_missing(0)
+        assert not is_missing(False)
+
+    def test_is_absent_covers_null_and_missing(self):
+        assert is_absent(None)
+        assert is_absent(MISSING)
+        assert not is_absent(0)
+        assert not is_absent("")
+
+    def test_copy_preserves_singleton(self):
+        assert copy.copy(MISSING) is MISSING
+        assert copy.deepcopy(MISSING) is MISSING
+
+
+class TestColumnTypeParsing:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INTEGER", ColumnType.INTEGER),
+            ("int", ColumnType.INTEGER),
+            ("BIGINT", ColumnType.INTEGER),
+            ("real", ColumnType.REAL),
+            ("FLOAT", ColumnType.REAL),
+            ("double", ColumnType.REAL),
+            ("TEXT", ColumnType.TEXT),
+            ("varchar", ColumnType.TEXT),
+            ("BOOLEAN", ColumnType.BOOLEAN),
+            ("bool", ColumnType.BOOLEAN),
+        ],
+    )
+    def test_from_name(self, name, expected):
+        assert ColumnType.from_name(name) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.from_name("geometry")
+
+    def test_python_type_of(self):
+        assert python_type_of(ColumnType.INTEGER) is int
+        assert python_type_of(ColumnType.REAL) is float
+        assert python_type_of(ColumnType.TEXT) is str
+        assert python_type_of(ColumnType.BOOLEAN) is bool
+
+
+class TestCoercion:
+    def test_null_and_missing_pass_through(self):
+        for column_type in ColumnType:
+            assert coerce_value(None, column_type) is None
+            assert coerce_value(MISSING, column_type) is MISSING
+
+    def test_integer_coercion(self):
+        assert coerce_value(5, ColumnType.INTEGER) == 5
+        assert coerce_value(5.0, ColumnType.INTEGER) == 5
+        assert coerce_value("42", ColumnType.INTEGER) == 42
+        assert coerce_value(True, ColumnType.INTEGER) == 1
+
+    def test_integer_rejects_fractional(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(5.5, ColumnType.INTEGER)
+
+    def test_integer_rejects_garbage_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("five", ColumnType.INTEGER)
+
+    def test_real_coercion(self):
+        assert coerce_value(3, ColumnType.REAL) == 3.0
+        assert isinstance(coerce_value(3, ColumnType.REAL), float)
+        assert coerce_value("2.5", ColumnType.REAL) == 2.5
+
+    def test_real_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("abc", ColumnType.REAL)
+
+    def test_text_coercion(self):
+        assert coerce_value("hi", ColumnType.TEXT) == "hi"
+        assert coerce_value(12, ColumnType.TEXT) == "12"
+        assert coerce_value(True, ColumnType.TEXT) == "true"
+
+    def test_text_rejects_collections(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value([1, 2], ColumnType.TEXT)
+
+    @pytest.mark.parametrize("value,expected", [
+        (True, True), (False, False), (1, True), (0, False),
+        ("true", True), ("FALSE", False), ("yes", True), ("no", False),
+        ("1", True), ("0", False),
+    ])
+    def test_boolean_coercion(self, value, expected):
+        assert coerce_value(value, ColumnType.BOOLEAN) is expected
+
+    def test_boolean_rejects_other_numbers(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(2, ColumnType.BOOLEAN)
+
+    def test_boolean_rejects_garbage_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("maybe", ColumnType.BOOLEAN)
+
+
+class TestCoercionProperties:
+    @given(st.integers(min_value=-10**9, max_value=10**9))
+    def test_integer_roundtrip(self, value):
+        assert coerce_value(value, ColumnType.INTEGER) == value
+        assert coerce_value(str(value), ColumnType.INTEGER) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_real_roundtrip(self, value):
+        assert coerce_value(value, ColumnType.REAL) == pytest.approx(value)
+
+    @given(st.text(max_size=50))
+    def test_text_identity(self, value):
+        assert coerce_value(value, ColumnType.TEXT) == value
+
+    @given(st.booleans())
+    def test_boolean_identity(self, value):
+        assert coerce_value(value, ColumnType.BOOLEAN) is value
+
+    @given(st.integers(min_value=-1000, max_value=1000))
+    def test_coercion_is_idempotent(self, value):
+        once = coerce_value(value, ColumnType.REAL)
+        twice = coerce_value(once, ColumnType.REAL)
+        assert once == twice

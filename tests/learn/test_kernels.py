@@ -1,0 +1,106 @@
+"""Tests for kernel functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import LearningError
+from repro.learn.kernels import LinearKernel, PolynomialKernel, RBFKernel, resolve_kernel
+
+
+@pytest.fixture
+def data() -> np.ndarray:
+    return np.random.default_rng(0).normal(size=(10, 4))
+
+
+class TestLinearKernel:
+    def test_matches_inner_product(self, data):
+        gram = LinearKernel()(data, data)
+        assert np.allclose(gram, data @ data.T)
+
+    def test_rectangular_shapes(self, data):
+        other = np.random.default_rng(1).normal(size=(3, 4))
+        assert LinearKernel()(data, other).shape == (10, 3)
+
+
+class TestRBFKernel:
+    def test_diagonal_is_one(self, data):
+        gram = RBFKernel(gamma=0.5).gram(data)
+        assert np.allclose(np.diag(gram), 1.0)
+
+    def test_values_in_unit_interval(self, data):
+        gram = RBFKernel(gamma=0.5).gram(data)
+        assert np.all(gram > 0)
+        assert np.all(gram <= 1.0 + 1e-12)
+
+    def test_symmetry(self, data):
+        gram = RBFKernel(gamma=0.3).gram(data)
+        assert np.allclose(gram, gram.T)
+
+    def test_larger_gamma_decays_faster(self, data):
+        narrow = RBFKernel(gamma=5.0).gram(data)
+        wide = RBFKernel(gamma=0.1).gram(data)
+        off_diagonal = ~np.eye(len(data), dtype=bool)
+        assert narrow[off_diagonal].mean() < wide[off_diagonal].mean()
+
+    def test_scale_gamma_resolution(self, data):
+        kernel = RBFKernel(gamma="scale")
+        resolved = kernel.resolve_gamma(data)
+        assert resolved == pytest.approx(1.0 / (data.shape[1] * data.var()))
+
+    def test_scale_gamma_on_constant_data(self):
+        constant = np.ones((5, 3))
+        assert RBFKernel(gamma="scale").resolve_gamma(constant) == pytest.approx(1.0 / 3)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(LearningError):
+            RBFKernel(gamma=0.0)
+        with pytest.raises(LearningError):
+            RBFKernel(gamma="auto")
+
+
+class TestPolynomialKernel:
+    def test_degree_one_matches_affine_linear(self, data):
+        poly = PolynomialKernel(degree=1, gamma=1.0, coef0=0.0)(data, data)
+        assert np.allclose(poly, data @ data.T)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(LearningError):
+            PolynomialKernel(degree=0)
+        with pytest.raises(LearningError):
+            PolynomialKernel(gamma=0.0)
+
+
+class TestResolveKernel:
+    def test_by_name(self):
+        assert isinstance(resolve_kernel("linear"), LinearKernel)
+        assert isinstance(resolve_kernel("rbf"), RBFKernel)
+        assert isinstance(resolve_kernel("poly", degree=2), PolynomialKernel)
+
+    def test_instance_passthrough(self):
+        kernel = RBFKernel(gamma=1.0)
+        assert resolve_kernel(kernel) is kernel
+
+    def test_unknown_name(self):
+        with pytest.raises(LearningError):
+            resolve_kernel("sigmoid")
+
+
+class TestKernelProperties:
+    @given(
+        arrays(np.float64, (5, 3), elements=st.floats(-3, 3)),
+        arrays(np.float64, (4, 3), elements=st.floats(-3, 3)),
+    )
+    def test_rbf_symmetric_in_arguments(self, a, b):
+        kernel = RBFKernel(gamma=0.5)
+        assert np.allclose(kernel(a, b), kernel(b, a).T)
+
+    @given(arrays(np.float64, (6, 2), elements=st.floats(-5, 5)))
+    def test_rbf_gram_positive_semidefinite(self, a):
+        gram = RBFKernel(gamma=0.7).gram(a)
+        eigenvalues = np.linalg.eigvalsh((gram + gram.T) / 2)
+        assert eigenvalues.min() > -1e-8

@@ -1,0 +1,136 @@
+"""Tests for feature scaling and sampling/splitting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LearningError, NotFittedError
+from repro.learn.model_selection import (
+    kfold_indices,
+    sample_balanced_training_set,
+    stratified_split,
+    train_test_split,
+)
+from repro.learn.scaling import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        transformed = StandardScaler().fit_transform(X)
+        assert np.allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(transformed.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_does_not_divide_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        transformed = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(transformed))
+        assert np.allclose(transformed[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_disable_centering(self):
+        X = np.random.default_rng(2).normal(3.0, 1.0, size=(100, 2))
+        transformed = StandardScaler(with_mean=False).fit_transform(X)
+        assert transformed.mean() > 1.0
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self):
+        X = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_fraction=0.25, seed=0)
+        assert len(X_test) == 5
+        assert len(X_train) == 15
+        assert len(y_train) == 15
+
+    def test_no_overlap_and_full_coverage(self):
+        X = np.arange(30).reshape(30, 1)
+        y = np.arange(30)
+        X_train, X_test, _yt, _ye = train_test_split(X, y, test_fraction=0.3, seed=1)
+        combined = sorted(np.concatenate([X_train[:, 0], X_test[:, 0]]).tolist())
+        assert combined == list(range(30))
+
+    def test_validation(self):
+        with pytest.raises(LearningError):
+            train_test_split(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(LearningError):
+            train_test_split(np.zeros((5, 2)), np.zeros(5), test_fraction=0.0)
+
+
+class TestStratifiedSplit:
+    def test_preserves_class_ratio(self):
+        y = np.array([True] * 20 + [False] * 80)
+        train_idx, test_idx = stratified_split(y, test_fraction=0.25, seed=0)
+        assert len(set(train_idx) & set(test_idx)) == 0
+        train_ratio = y[train_idx].mean()
+        assert 0.1 < train_ratio < 0.3
+
+    def test_validation(self):
+        with pytest.raises(LearningError):
+            stratified_split(np.array([True, False]), test_fraction=1.5)
+
+
+class TestBalancedSampling:
+    def test_sample_sizes_and_labels(self):
+        labels = {i: i <= 30 for i in range(1, 101)}
+        positives, negatives = sample_balanced_training_set(labels, 10, seed=0)
+        assert len(positives) == 10
+        assert len(negatives) == 10
+        assert all(labels[i] for i in positives)
+        assert all(not labels[i] for i in negatives)
+
+    def test_exclusions_respected(self):
+        labels = {i: i <= 30 for i in range(1, 101)}
+        exclude = list(range(1, 21))
+        positives, _negatives = sample_balanced_training_set(labels, 10, seed=0, exclude=exclude)
+        assert not set(positives) & set(exclude)
+
+    def test_insufficient_examples(self):
+        labels = {1: True, 2: False, 3: False}
+        with pytest.raises(LearningError):
+            sample_balanced_training_set(labels, 2)
+
+    def test_invalid_n(self):
+        with pytest.raises(LearningError):
+            sample_balanced_training_set({1: True, 2: False}, 0)
+
+    def test_reproducible(self):
+        labels = {i: i % 3 == 0 for i in range(1, 200)}
+        first = sample_balanced_training_set(labels, 15, seed=5)
+        second = sample_balanced_training_set(labels, 15, seed=5)
+        assert first == second
+
+    @given(st.integers(1, 10))
+    def test_sampling_property(self, n):
+        labels = {i: i <= 50 for i in range(1, 101)}
+        positives, negatives = sample_balanced_training_set(labels, n, seed=n)
+        assert len(set(positives)) == n
+        assert len(set(negatives)) == n
+        assert not set(positives) & set(negatives)
+
+
+class TestKFold:
+    def test_folds_cover_everything(self):
+        folds = kfold_indices(23, 4, seed=0)
+        assert len(folds) == 4
+        combined = sorted(np.concatenate(folds).tolist())
+        assert combined == list(range(23))
+
+    def test_validation(self):
+        with pytest.raises(LearningError):
+            kfold_indices(10, 1)
+        with pytest.raises(LearningError):
+            kfold_indices(2, 5)

@@ -1,0 +1,86 @@
+"""Tests for the kernel support vector regressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LearningError, NotFittedError
+from repro.learn.svr import SVR
+
+
+@pytest.fixture
+def regression_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(120, 4))
+    y = 2.0 * X[:, 0] - 1.5 * X[:, 1] + 0.5 * np.sin(2 * X[:, 2]) + rng.normal(0, 0.1, 120)
+    return X, y
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"C": 0}, {"epsilon": -0.1}, {"learning_rate": 0}, {"n_iterations": 0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(LearningError):
+            SVR(**kwargs)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(LearningError):
+            SVR().fit(np.zeros((5, 2)), np.zeros(3))
+
+    def test_non_2d_features(self):
+        with pytest.raises(LearningError):
+            SVR().fit(np.zeros(5), np.zeros(5))
+
+    def test_unfitted_predict(self):
+        with pytest.raises(NotFittedError):
+            SVR().predict(np.zeros((2, 2)))
+
+
+class TestRegressionQuality:
+    def test_fits_smooth_function(self, regression_data):
+        X, y = regression_data
+        model = SVR(C=2.0, n_iterations=400).fit(X, y)
+        assert model.score(X, y) > 0.7
+
+    def test_objective_decreases(self, regression_data):
+        X, y = regression_data
+        model = SVR(C=1.0, n_iterations=200).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_predictions_shape(self, regression_data):
+        X, y = regression_data
+        model = SVR(n_iterations=100).fit(X, y)
+        assert model.predict(X[:7]).shape == (7,)
+        assert model.predict(X[0]).shape == (1,)
+
+    def test_constant_target(self):
+        X = np.random.default_rng(1).normal(size=(30, 3))
+        y = np.full(30, 4.2)
+        model = SVR(n_iterations=100).fit(X, y)
+        assert np.allclose(model.predict(X), 4.2, atol=0.5)
+        assert model.score(X, y) in (0.0, 1.0)
+
+    def test_generalisation(self):
+        rng = np.random.default_rng(2)
+        X_train = rng.normal(size=(150, 2))
+        y_train = X_train[:, 0] + X_train[:, 1] ** 2
+        X_test = rng.normal(size=(50, 2))
+        y_test = X_test[:, 0] + X_test[:, 1] ** 2
+        model = SVR(C=2.0, n_iterations=400).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.5
+
+    def test_linear_kernel(self, regression_data):
+        X, y = regression_data
+        model = SVR(kernel="linear", C=1.0, n_iterations=300).fit(X, y)
+        assert model.score(X, y) > 0.6
+
+    def test_epsilon_insensitivity(self):
+        # With a huge epsilon nothing is penalised and predictions collapse
+        # towards the mean of the targets.
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(50, 2))
+        y = 3.0 + X[:, 0]
+        loose = SVR(epsilon=10.0, n_iterations=200).fit(X, y)
+        assert np.allclose(loose.predict(X), y.mean(), atol=1.0)

@@ -1,0 +1,67 @@
+"""Tests for factor-model cross-validation and hyper-parameter selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PerceptualSpaceError
+from repro.perceptual.cross_validation import (
+    cross_validate_model,
+    grid_of_configs,
+    select_hyperparameters,
+)
+from repro.perceptual.euclidean_embedding import EuclideanEmbeddingModel
+from repro.perceptual.factorization import FactorModelConfig
+from repro.perceptual.ratings import RatingDataset
+
+
+@pytest.fixture(scope="module")
+def dataset() -> RatingDataset:
+    rng = np.random.default_rng(0)
+    items = rng.integers(1, 40, size=3000)
+    users = rng.integers(1, 120, size=3000)
+    quality = {i: rng.normal(0, 0.8) for i in range(1, 40)}
+    scores = np.clip(
+        np.array([3.2 + quality[i] for i in items]) + rng.normal(0, 0.4, 3000), 1, 5
+    )
+    return RatingDataset(items, users, scores)
+
+
+def factory(config: FactorModelConfig) -> EuclideanEmbeddingModel:
+    return EuclideanEmbeddingModel(config)
+
+
+class TestCrossValidation:
+    def test_fold_count_and_positive_rmse(self, dataset):
+        config = FactorModelConfig(n_factors=4, n_epochs=5, seed=0)
+        result = cross_validate_model(factory, dataset, config, n_folds=3, seed=0)
+        assert len(result.fold_rmse) == 3
+        assert all(r > 0 for r in result.fold_rmse)
+        assert result.mean_rmse == pytest.approx(np.mean(result.fold_rmse))
+        assert result.std_rmse >= 0
+
+    def test_select_hyperparameters_returns_best(self, dataset):
+        base = FactorModelConfig(n_factors=4, n_epochs=4, seed=0)
+        best, results = select_hyperparameters(
+            factory,
+            dataset,
+            n_factors_grid=(2, 4),
+            regularization_grid=(0.02,),
+            base_config=base,
+            n_folds=2,
+            seed=0,
+        )
+        assert len(results) == 2
+        best_rmse = min(r.mean_rmse for r in results)
+        chosen = [r for r in results if r.config == best][0]
+        assert chosen.mean_rmse == pytest.approx(best_rmse)
+
+    def test_empty_grid_rejected(self, dataset):
+        with pytest.raises(PerceptualSpaceError):
+            select_hyperparameters(factory, dataset, n_factors_grid=(), regularization_grid=(0.02,))
+
+    def test_grid_of_configs(self):
+        configs = grid_of_configs([8, 16], [0.01, 0.02, 0.1])
+        assert len(configs) == 6
+        assert {c.n_factors for c in configs} == {8, 16}

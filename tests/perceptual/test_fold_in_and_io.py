@@ -1,0 +1,136 @@
+"""Tests for item fold-in and dataset/space persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PerceptualSpaceError
+from repro.perceptual.euclidean_embedding import EuclideanEmbeddingModel
+from repro.perceptual.factorization import FactorModelConfig
+from repro.perceptual.fold_in import ItemFoldIn
+from repro.perceptual.io import load_ratings, load_space, save_ratings, save_space
+from repro.perceptual.ratings import RatingDataset
+from repro.perceptual.space import PerceptualSpace
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A small planted world: two item clusters, users near one of them."""
+    rng = np.random.default_rng(0)
+    n_items, n_users = 60, 150
+    item_pos = rng.normal(0, 1, (n_items, 3))
+    item_pos[:30] += 2.0
+    user_pos = rng.normal(0, 1, (n_users, 3))
+    user_pos[:75] += 2.0
+    triples = []
+    for user in range(n_users):
+        for item in rng.choice(n_items, 25, replace=False):
+            d2 = float(np.sum((item_pos[item] - user_pos[user]) ** 2))
+            score = float(np.clip(4.5 - 0.3 * d2 + rng.normal(0, 0.3), 1, 5))
+            triples.append((item + 1, user + 1, score))
+    dataset = RatingDataset.from_triples(triples)
+    model = EuclideanEmbeddingModel(FactorModelConfig(n_factors=6, n_epochs=15, seed=0))
+    model.fit(dataset)
+    return {"item_pos": item_pos, "user_pos": user_pos, "dataset": dataset, "model": model, "rng": rng}
+
+
+class TestItemFoldIn:
+    def _new_item_ratings(self, world, cluster_shift: float, n: int = 40):
+        """Ratings a brand-new item in the given cluster would receive."""
+        rng = np.random.default_rng(99)
+        ratings = []
+        new_pos = np.full(3, cluster_shift)
+        for user in rng.choice(world["dataset"].n_users, n, replace=False):
+            d2 = float(np.sum((new_pos - world["user_pos"][user]) ** 2))
+            score = float(np.clip(4.5 - 0.3 * d2 + rng.normal(0, 0.3), 1, 5))
+            ratings.append((int(world["dataset"].user_ids[user]), score))
+        return ratings
+
+    def test_folded_item_lands_near_its_cluster(self, world):
+        model = world["model"]
+        space = model.to_space()
+        fold = ItemFoldIn(model, seed=0)
+        result = fold.fold_in(999, self._new_item_ratings(world, cluster_shift=2.0))
+        assert result.n_ratings_used > 10
+        assert result.final_rmse < 1.5
+
+        # Distance from the folded item to the cluster-1 items (true neighbours)
+        # should be smaller than to cluster-2 items.
+        cluster_1 = space.vectors(list(range(1, 31))).mean(axis=0)
+        cluster_2 = space.vectors(list(range(31, 61))).mean(axis=0)
+        d1 = np.linalg.norm(result.coordinates - cluster_1)
+        d2 = np.linalg.norm(result.coordinates - cluster_2)
+        assert d1 < d2
+
+    def test_extend_space(self, world):
+        model = world["model"]
+        space = model.to_space()
+        fold = ItemFoldIn(model, seed=0)
+        new_items = {999: self._new_item_ratings(world, 2.0), 1000: self._new_item_ratings(world, 0.0)}
+        extended, results = fold.extend_space(space, new_items)
+        assert extended.n_items == space.n_items + 2
+        assert {r.item_id for r in results} == {999, 1000}
+        assert 999 in extended and 1000 in extended
+        # original space untouched
+        assert 999 not in space
+
+    def test_existing_items_are_skipped(self, world):
+        model = world["model"]
+        space = model.to_space()
+        fold = ItemFoldIn(model, seed=0)
+        extended, results = fold.extend_space(space, {1: self._new_item_ratings(world, 2.0)})
+        assert extended is space
+        assert results == []
+
+    def test_too_few_ratings_rejected(self, world):
+        fold = ItemFoldIn(world["model"], min_ratings=5, seed=0)
+        with pytest.raises(PerceptualSpaceError):
+            fold.fold_in(999, [(int(world["dataset"].user_ids[0]), 4.0)])
+
+    def test_unknown_users_do_not_count(self, world):
+        fold = ItemFoldIn(world["model"], min_ratings=3, seed=0)
+        with pytest.raises(PerceptualSpaceError):
+            fold.fold_in(999, [(10**7, 4.0), (10**7 + 1, 3.0), (10**7 + 2, 2.0)])
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(PerceptualSpaceError):
+            ItemFoldIn(EuclideanEmbeddingModel())
+
+    def test_invalid_parameters(self, world):
+        with pytest.raises(PerceptualSpaceError):
+            ItemFoldIn(world["model"], n_iterations=0)
+        with pytest.raises(PerceptualSpaceError):
+            ItemFoldIn(world["model"], min_ratings=0)
+
+
+class TestPersistence:
+    def test_space_roundtrip(self, tmp_path, world):
+        space = world["model"].to_space().with_metadata(note="unit test")
+        path = save_space(space, tmp_path / "space.npz")
+        loaded = load_space(path)
+        assert loaded.item_ids == space.item_ids
+        assert np.allclose(loaded.coordinates, space.coordinates)
+        assert loaded.metadata["note"] == "unit test"
+
+    def test_ratings_roundtrip(self, tmp_path, world):
+        dataset = world["dataset"]
+        path = save_ratings(dataset, tmp_path / "ratings.npz")
+        loaded = load_ratings(path)
+        assert loaded.n_ratings == dataset.n_ratings
+        assert loaded.n_items == dataset.n_items
+        assert loaded.scale == dataset.scale
+        assert loaded.global_mean == pytest.approx(dataset.global_mean)
+
+    def test_missing_files_raise(self, tmp_path):
+        with pytest.raises(PerceptualSpaceError):
+            load_space(tmp_path / "nope.npz")
+        with pytest.raises(PerceptualSpaceError):
+            load_ratings(tmp_path / "nope.npz")
+
+    def test_loaded_space_supports_queries(self, tmp_path, world):
+        space = world["model"].to_space()
+        loaded = load_space(save_space(space, tmp_path / "space.npz"))
+        original = space.nearest_neighbors(space.item_ids[0], k=3)
+        restored = loaded.nearest_neighbors(space.item_ids[0], k=3)
+        assert original == restored

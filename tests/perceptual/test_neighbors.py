@@ -1,0 +1,95 @@
+"""Tests for pairwise distances and neighbourhood utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PerceptualSpaceError
+from repro.perceptual.neighbors import (
+    nearest_neighbors,
+    neighborhood_purity,
+    pairwise_distances,
+)
+from repro.perceptual.space import PerceptualSpace
+
+
+@pytest.fixture
+def clustered_space() -> PerceptualSpace:
+    rng = np.random.default_rng(0)
+    first = rng.normal(0.0, 0.3, size=(20, 4))
+    second = rng.normal(3.0, 0.3, size=(20, 4))
+    return PerceptualSpace(list(range(1, 41)), np.vstack([first, second]))
+
+
+class TestPairwiseDistances:
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(7, 3))
+        b = rng.normal(size=(5, 3))
+        expected = np.linalg.norm(a[:, None, :] - b[None, :, :], axis=2)
+        assert np.allclose(pairwise_distances(a, b), expected)
+
+    def test_self_distances_zero_diagonal(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(6, 2))
+        distances = pairwise_distances(a)
+        assert np.allclose(np.diag(distances), 0.0, atol=1e-6)
+
+    def test_chunking_gives_same_result(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(50, 4))
+        assert np.allclose(
+            pairwise_distances(a, chunk_size=7), pairwise_distances(a, chunk_size=1000)
+        )
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(PerceptualSpaceError):
+            pairwise_distances(np.zeros((3, 2)), np.zeros((3, 3)))
+
+    def test_non_2d_input(self):
+        with pytest.raises(PerceptualSpaceError):
+            pairwise_distances(np.zeros(3))
+
+
+class TestNearestNeighbors:
+    def test_candidate_restriction(self, clustered_space):
+        neighbors = nearest_neighbors(clustered_space, 1, k=3, candidate_ids=[21, 22, 23, 24])
+        assert [n for n, _d in neighbors] == [21, 22, 23] or len(neighbors) == 3
+        assert all(n >= 21 for n, _d in neighbors)
+
+    def test_excludes_self_from_candidates(self, clustered_space):
+        neighbors = nearest_neighbors(clustered_space, 1, k=5, candidate_ids=[1, 2, 3])
+        assert all(n != 1 for n, _d in neighbors)
+
+    def test_empty_candidates(self, clustered_space):
+        assert nearest_neighbors(clustered_space, 1, k=3, candidate_ids=[1]) == []
+
+    def test_defaults_to_whole_space(self, clustered_space):
+        neighbors = nearest_neighbors(clustered_space, 1, k=3)
+        assert len(neighbors) == 3
+        # items 1-20 form a tight cluster, so neighbours come from it
+        assert all(n <= 20 for n, _d in neighbors)
+
+
+class TestNeighborhoodPurity:
+    def test_clustered_labels_have_high_purity(self, clustered_space):
+        labels = {i: i <= 20 for i in range(1, 41)}
+        assert neighborhood_purity(clustered_space, labels, k=5) > 0.9
+
+    def test_random_labels_have_lower_purity(self, clustered_space):
+        rng = np.random.default_rng(4)
+        labels = {i: bool(rng.random() < 0.5) for i in range(1, 41)}
+        clustered = {i: i <= 20 for i in range(1, 41)}
+        assert neighborhood_purity(clustered_space, labels, k=5) < neighborhood_purity(
+            clustered_space, clustered, k=5
+        )
+
+    def test_no_labelled_items_raises(self, clustered_space):
+        with pytest.raises(PerceptualSpaceError):
+            neighborhood_purity(clustered_space, {}, k=5)
+
+    def test_sample_restriction(self, clustered_space):
+        labels = {i: i <= 20 for i in range(1, 41)}
+        purity = neighborhood_purity(clustered_space, labels, k=3, sample_ids=[1, 2, 3])
+        assert 0.0 <= purity <= 1.0

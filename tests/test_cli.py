@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENT_CHOICES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "table3", "--scale", "small"])
+        assert args.name == "table3"
+        assert args.scale == "small"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "table9"])
+
+    def test_all_experiment_names_are_known(self):
+        assert set(EXPERIMENT_CHOICES) == {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "figure3", "figure4", "tsvm",
+        }
+
+
+class TestCommands:
+    def test_demo_runs_end_to_end(self, capsys):
+        exit_code = main(["demo", "--movies", "150", "--seed", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Top comedies" in captured.out
+        assert "Filled" in captured.out
+
+    def test_experiment_table2_small(self, capsys):
+        exit_code = main(["experiment", "table2", "--scale", "small"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Nearest neighbours" in captured.out
+
+    def test_experiment_table5_small(self, capsys):
+        exit_code = main(
+            ["experiment", "table5", "--scale", "small", "--repetitions", "1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "restaurants" in captured.out
+
+    def test_build_space_persists_archive(self, tmp_path, capsys):
+        output = tmp_path / "space.npz"
+        exit_code = main(
+            [
+                "build-space",
+                str(output),
+                "--movies", "80",
+                "--users", "200",
+                "--factors", "8",
+                "--epochs", "5",
+                "--ratings-output", str(tmp_path / "ratings.npz"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert output.exists()
+        assert (tmp_path / "ratings.npz").exists()
+        assert "Wrote perceptual space" in captured.out
+
+        from repro.perceptual import load_space
+
+        space = load_space(output)
+        assert space.n_items == 80
+        assert space.metadata["corpus"] == "movies"
