@@ -13,10 +13,12 @@ components the paper's results rest on:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.extractor import PerceptualAttributeExtractor
-from repro.db.database import CrowdDatabase
+from repro.db import Catalog, Connection
 from repro.experiments.context import build_perceptual_space
 from repro.learn.metrics import g_mean
 from repro.learn.model_selection import sample_balanced_training_set
@@ -119,42 +121,82 @@ def test_ablation_extractor_training_cost(benchmark, movie_context, report_write
 
 
 def test_ablation_sql_engine_throughput(benchmark, movie_context, report_writer):
-    """Query latency of the crowd database on the workload's query shapes."""
-    db = CrowdDatabase()
-    db.execute(
+    """Query latency of the crowd database on the workload's query shapes,
+    plus the effect of the connection's prepared-statement cache on a
+    repeated-query (OLTP-style point lookup) workload."""
+    catalog = Catalog()
+    setup = Connection(catalog)
+    setup.execute(
         "CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT, year INTEGER, is_comedy BOOLEAN)"
     )
     labels = movie_context.reference_labels("Comedy")
-    db.insert_rows(
-        "movies",
+    setup.executemany(
+        "INSERT INTO movies (item_id, name, year, is_comedy) VALUES (?, ?, ?, ?)",
         [
-            {
-                "item_id": record["item_id"],
-                "name": record["name"],
-                "year": record["year"],
-                "is_comedy": labels.get(record["item_id"], False),
-            }
+            (
+                record["item_id"],
+                record["name"],
+                record["year"],
+                labels.get(record["item_id"], False),
+            )
             for record in movie_context.corpus.items
         ],
     )
+    conn = Connection(catalog)
 
     def workload() -> int:
         total = 0
-        total += db.execute("SELECT count(*) FROM movies WHERE is_comedy = true").scalar()
-        total += len(db.execute("SELECT name FROM movies WHERE year > 1990 ORDER BY year DESC LIMIT 20"))
-        total += len(db.execute(
+        total += conn.execute("SELECT count(*) FROM movies WHERE is_comedy = true").fetchone()[0]
+        total += conn.execute(
+            "SELECT name FROM movies WHERE year > ? ORDER BY year DESC LIMIT 20", (1990,)
+        ).rowcount
+        total += conn.execute(
             "SELECT year, count(*) AS n FROM movies GROUP BY year HAVING count(*) > 2 ORDER BY n DESC"
-        ))
-        total += len(db.execute("SELECT name FROM movies WHERE item_id = 17"))
+        ).rowcount
+        total += conn.execute("SELECT name FROM movies WHERE item_id = ?", (17,)).rowcount
         return total
 
     total = benchmark(workload)
     assert total > 0
+
+    # -- prepared-statement cache: repeated point queries, cache on vs off ------
+    point_queries = [
+        ("SELECT name, year FROM movies WHERE item_id = ?", (17,)),
+        ("SELECT name FROM movies WHERE item_id = ?", (42,)),
+        ("SELECT year FROM movies WHERE item_id = ?", (99,)),
+        ("SELECT count(*) FROM movies WHERE item_id = ?", (5,)),
+    ]
+
+    def repeated_queries(connection: Connection, repeats: int = 200) -> float:
+        for _ in range(10):  # warmup
+            for sql, params in point_queries:
+                connection.execute(sql, params)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for sql, params in point_queries:
+                connection.execute(sql, params)
+        elapsed = time.perf_counter() - start
+        return repeats * len(point_queries) / elapsed
+
+    cached_qps = repeated_queries(Connection(catalog))
+    uncached_qps = repeated_queries(Connection(catalog, statement_cache_size=0))
+    speedup = cached_qps / uncached_qps
+    assert speedup >= 1.3, (
+        f"statement cache should give >=1.3x throughput on repeated queries, "
+        f"got {speedup:.2f}x ({cached_qps:.0f} vs {uncached_qps:.0f} q/s)"
+    )
+
     report_writer(
         "ablation_sql_engine",
         format_table(
             ["quantity", "value"],
-            [("rows in movies", len(movie_context.corpus.items)), ("workload result size", total)],
+            [
+                ("rows in movies", len(movie_context.corpus.items)),
+                ("workload result size", total),
+                ("point queries/s (cache on)", round(cached_qps)),
+                ("point queries/s (cache off)", round(uncached_qps)),
+                ("statement-cache speedup", f"{speedup:.2f}x"),
+            ],
             title="Ablation: SQL engine workload",
         ),
     )

@@ -8,8 +8,9 @@ Reproduces the cost/quality trade-off at the heart of the paper: the same
 * once by crowd-sourcing only a small gold sample and extrapolating from
   the perceptual space.
 
-The script prints accuracy, coverage, cost and simulated wall-clock time
-for both strategies.
+Both strategies run on their own connection with their own session-scoped
+expansion pipeline, so neither clobbers the other's policy.  The script
+prints accuracy, coverage, cost and simulated wall-clock time for both.
 
 Run with:  python examples/movie_schema_expansion.py
 """
@@ -18,38 +19,32 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import (
-    DirectCrowdPolicy,
-    GoldSampleCollector,
-    PerceptualSpacePolicy,
-    SchemaExpander,
-)
+import repro
+from repro.core import DirectCrowdPolicy, GoldSampleCollector, PerceptualSpacePolicy
 from repro.crowd import CrowdPlatform, WorkerPool
 from repro.datasets import build_expert_databases, build_movie_corpus, majority_reference
-from repro.db import CrowdDatabase
+from repro.db import Connection
 from repro.perceptual import EuclideanEmbeddingModel, FactorModelConfig
 
 
-def build_database(corpus) -> CrowdDatabase:
-    """Load the factual part of the corpus into a fresh database."""
-    db = CrowdDatabase()
-    db.execute(
+def build_connection(corpus) -> Connection:
+    """Load the factual part of the corpus into a fresh connection."""
+    conn = repro.connect()
+    cursor = conn.cursor()
+    cursor.execute(
         "CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT, year INTEGER)"
     )
-    db.insert_rows(
-        "movies",
-        [
-            {"item_id": r["item_id"], "name": r["name"], "year": r["year"]}
-            for r in corpus.items
-        ],
+    cursor.executemany(
+        "INSERT INTO movies (item_id, name, year) VALUES (?, ?, ?)",
+        [(r["item_id"], r["name"], r["year"]) for r in corpus.items],
     )
-    return db
+    return conn
 
 
-def accuracy_of(db: CrowdDatabase, truth: dict[int, bool]) -> tuple[float, float]:
+def accuracy_of(conn: Connection, truth: dict[int, bool]) -> tuple[float, float]:
     """(coverage, accuracy on covered rows) of the expanded is_comedy column."""
-    values = db.column_values("movies", "is_comedy")
-    keys = db.column_values("movies", "item_id")
+    values = conn.column_values("movies", "is_comedy")
+    keys = conn.column_values("movies", "item_id")
     covered = 0
     correct = 0
     for rowid, value in values.items():
@@ -78,23 +73,29 @@ def main() -> None:
     pool = WorkerPool.build(n_honest=35, n_spammers=45, n_experts=12, seed=13)
 
     # -- Strategy 1: direct crowd-sourcing of every value --------------------------
-    db_direct = build_database(corpus)
-    direct_policy = DirectCrowdPolicy(platform, pool, judgments_per_item=10)
-    direct = SchemaExpander(
-        db_direct, direct_policy, key_column="item_id", truth={"is_comedy": truth}
+    conn_direct = build_connection(corpus)
+    direct = (
+        conn_direct.expansion()
+        .with_policy(DirectCrowdPolicy(platform, pool, judgments_per_item=10))
+        .with_key("item_id")
+        .with_truth({"is_comedy": truth})
+        .build()
     )
     direct_report = direct.expand_attribute("movies", "is_comedy")
-    direct_coverage, direct_accuracy = accuracy_of(db_direct, truth)
+    direct_coverage, direct_accuracy = accuracy_of(conn_direct, truth)
 
     # -- Strategy 2: perceptual-space expansion from a small gold sample -------------
-    db_space = build_database(corpus)
+    conn_space = build_connection(corpus)
     collector = GoldSampleCollector(platform, pool.only_trusted(), seed=13)
-    space_policy = PerceptualSpacePolicy(space, collector, gold_sample_size=80, seed=13)
-    expansion = SchemaExpander(
-        db_space, space_policy, key_column="item_id", truth={"is_comedy": truth}
+    expansion = (
+        conn_space.expansion()
+        .with_policy(PerceptualSpacePolicy(space, collector, gold_sample_size=80, seed=13))
+        .with_key("item_id")
+        .with_truth({"is_comedy": truth})
+        .build()
     )
     space_report = expansion.expand_attribute("movies", "is_comedy")
-    space_coverage, space_accuracy = accuracy_of(db_space, truth)
+    space_coverage, space_accuracy = accuracy_of(conn_space, truth)
 
     print("Strategy comparison for expanding movies.is_comedy")
     print("---------------------------------------------------")
@@ -116,9 +117,9 @@ def main() -> None:
         f"(direct crowd-sourcing left {100 - direct_coverage * 100:.0f}% of movies unclassified)."
     )
 
-    comedies = db_space.execute(
-        "SELECT count(*) FROM movies WHERE is_comedy = true"
-    ).scalar()
+    (comedies,) = conn_space.execute(
+        "SELECT count(*) FROM movies WHERE is_comedy = ?", (True,)
+    ).fetchone()
     true_count = int(np.sum(list(truth.values())))
     print(f"Comedies found: {comedies} (reference says {true_count}).")
 

@@ -7,7 +7,8 @@ Boundaries of Crowd-enabled Databases with Query-driven Schema Expansion"
 Subpackages
 -----------
 ``repro.db``
-    Crowd-enabled relational database (SQL front end, MISSING values,
+    Crowd-enabled relational database (DB-API-style connections and
+    cursors, SQL front end with qmark parameter binding, MISSING values,
     crowd-backed operators).
 ``repro.crowd``
     Simulated crowd-sourcing platform (HITs, worker archetypes, quality
@@ -29,15 +30,24 @@ Subpackages
 
 Quickstart
 ----------
->>> from repro.db import CrowdDatabase
->>> db = CrowdDatabase()
->>> _ = db.execute("CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT)")
+>>> import repro
+>>> conn = repro.connect()
+>>> cur = conn.cursor()
+>>> _ = cur.execute("CREATE TABLE movies (movie_id INTEGER PRIMARY KEY, name TEXT)")
+>>> _ = cur.execute("INSERT INTO movies (movie_id, name) VALUES (?, ?)", (1, "Rocky"))
+>>> cur.execute("SELECT name FROM movies WHERE movie_id = ?", (1,)).fetchone()
+('Rocky',)
 
-See ``examples/quickstart.py`` for the full end-to-end workflow.
+Crowd-sourcing hooks are configured per connection through its session
+context, e.g. ``conn.expansion().with_policy(policy).with_key("item_id")
+.allow("is_comedy").attach()`` — see ``examples/quickstart.py`` for the
+full end-to-end workflow.  The legacy ``CrowdDatabase`` facade remains
+available as a deprecated shim over the connection API.
 """
 
 from repro.core import (
     DirectCrowdPolicy,
+    ExpansionPipeline,
     GoldSampleCollector,
     HybridPolicy,
     PerceptualAttributeExtractor,
@@ -46,17 +56,20 @@ from repro.core import (
     SchemaExpander,
 )
 from repro.crowd import CrowdPlatform, WorkerPool
-from repro.db import CrowdDatabase
+from repro.db import Connection, CrowdDatabase, Cursor, SessionContext, connect
 from repro.errors import ReproError
 from repro.perceptual import EuclideanEmbeddingModel, PerceptualSpace, RatingDataset, SVDModel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Connection",
     "CrowdDatabase",
     "CrowdPlatform",
+    "Cursor",
     "DirectCrowdPolicy",
     "EuclideanEmbeddingModel",
+    "ExpansionPipeline",
     "GoldSampleCollector",
     "HybridPolicy",
     "PerceptualAttributeExtractor",
@@ -67,6 +80,8 @@ __all__ = [
     "ReproError",
     "SVDModel",
     "SchemaExpander",
+    "SessionContext",
     "WorkerPool",
     "__version__",
+    "connect",
 ]

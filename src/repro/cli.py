@@ -78,20 +78,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_demo(args: argparse.Namespace) -> int:
-    from repro.core import GoldSampleCollector, PerceptualSpacePolicy, SchemaExpander
+    import repro
+    from repro.core import GoldSampleCollector, PerceptualSpacePolicy
     from repro.crowd import CrowdPlatform, WorkerPool
     from repro.datasets import build_movie_corpus
-    from repro.db import CrowdDatabase
     from repro.perceptual import EuclideanEmbeddingModel, FactorModelConfig
 
     corpus = build_movie_corpus(n_movies=args.movies, n_users=args.movies * 2, seed=args.seed)
     print(f"Built corpus: {corpus.summary()}")
 
-    db = CrowdDatabase()
-    db.execute("CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT, year INTEGER)")
-    db.insert_rows(
-        "movies",
-        [{"item_id": r["item_id"], "name": r["name"], "year": r["year"]} for r in corpus.items],
+    conn = repro.connect()
+    cursor = conn.cursor()
+    cursor.execute("CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT, year INTEGER)")
+    cursor.executemany(
+        "INSERT INTO movies (item_id, name, year) VALUES (?, ?, ?)",
+        [(r["item_id"], r["name"], r["year"]) for r in corpus.items],
     )
 
     model = EuclideanEmbeddingModel(FactorModelConfig(n_factors=16, n_epochs=15, seed=args.seed))
@@ -103,19 +104,20 @@ def _run_demo(args: argparse.Namespace) -> int:
     pool = WorkerPool.build(n_honest=25, n_experts=10, n_spammers=10, seed=args.seed)
     collector = GoldSampleCollector(platform, pool.only_trusted(), seed=args.seed)
     policy = PerceptualSpacePolicy(space, collector, gold_sample_size=60, seed=args.seed)
-    expander = SchemaExpander(
-        db,
-        policy,
-        key_column="item_id",
-        truth={"is_comedy": corpus.labels_for("Comedy")},
+    expander = (
+        conn.expansion()
+        .with_policy(policy)
+        .with_key("item_id")
+        .with_truth({"is_comedy": corpus.labels_for("Comedy")})
+        .attach()
     )
-    expander.attach()
 
-    result = db.execute(
-        "SELECT name, year FROM movies WHERE is_comedy = true ORDER BY year DESC LIMIT 5"
+    cursor.execute(
+        "SELECT name, year FROM movies WHERE is_comedy = ? ORDER BY year DESC LIMIT 5",
+        (True,),
     )
     print("\nTop comedies after query-driven schema expansion:")
-    for name, year in result.rows:
+    for name, year in cursor:
         print(f"  {name} ({year})")
     report = expander.reports[0]
     print(

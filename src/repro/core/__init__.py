@@ -24,11 +24,12 @@ from repro.core.policies import (
     PerceptualSpacePolicy,
 )
 from repro.core.quality import QualityFlag, QuestionableResponseDetector
-from repro.core.schema_expansion import ExpansionReport, SchemaExpander
+from repro.core.schema_expansion import ExpansionPipeline, ExpansionReport, SchemaExpander
 
 __all__ = [
     "DirectCrowdPolicy",
     "ExpansionLedger",
+    "ExpansionPipeline",
     "ExpansionPolicy",
     "ExpansionReport",
     "ExtractionResult",

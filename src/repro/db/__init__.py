@@ -5,27 +5,48 @@ sits on: a typed relational store with a SQL front end (tokenizer, parser,
 planner, executor) and crowd-backed operators that can fill missing values
 or rank tuples by perceptual criteria at query time.
 
-Public entry point: :class:`repro.db.database.CrowdDatabase`.
+Public entry point: :func:`repro.db.connect`, returning a DB-API-2.0-style
+:class:`~repro.db.connection.Connection` with cursors, qmark parameter
+binding, a prepared-statement cache and a session-scoped crowd context.
+The legacy :class:`~repro.db.database.CrowdDatabase` facade remains as a
+deprecated shim over the connection API.
 """
 
 from repro.db.catalog import Catalog
-from repro.db.database import CrowdDatabase, QueryResult
+from repro.db.connection import (
+    CacheStats,
+    Connection,
+    Cursor,
+    ExpansionHandler,
+    SessionContext,
+    StatementCache,
+    connect,
+)
+from repro.db.database import CrowdDatabase
 from repro.db.schema import AttributeKind, Column, ColumnType, TableSchema
+from repro.db.sql.executor import QueryResult
 from repro.db.storage import Row, TableStorage
 from repro.db.types import MISSING, Missing, coerce_value, is_missing
 
 __all__ = [
     "AttributeKind",
+    "CacheStats",
     "Catalog",
     "Column",
     "ColumnType",
+    "Connection",
     "CrowdDatabase",
+    "Cursor",
+    "ExpansionHandler",
     "MISSING",
     "Missing",
     "QueryResult",
     "Row",
+    "SessionContext",
+    "StatementCache",
     "TableSchema",
     "TableStorage",
     "coerce_value",
+    "connect",
     "is_missing",
 ]

@@ -1,7 +1,18 @@
-"""Database catalog: the collection of tables known to a database instance."""
+"""Database catalog: the collection of tables known to a database instance.
+
+A catalog can be shared between several :class:`~repro.db.connection.Connection`
+objects (the multi-tenant setup of the connection API), so it carries
+
+* a re-entrant ``lock`` that connections hold while executing statements
+  against the shared tables, and
+* a monotonically increasing schema ``version`` that is bumped by every DDL
+  change (table created/dropped, column added, index created).  Prepared
+  statement caches use the version to invalidate stale query plans.
+"""
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 from repro.db.schema import TableSchema
@@ -14,6 +25,47 @@ class Catalog:
 
     def __init__(self) -> None:
         self._tables: dict[str, TableStorage] = {}
+        self._version = 0
+        #: Guards reads and writes when the catalog is shared by connections.
+        self.lock = threading.RLock()
+        self._expansions: dict[tuple[str, str], threading.Event] = {}
+
+    # -- in-flight expansion registry -------------------------------------------
+
+    def begin_expansion(self, table: str, attribute: str) -> tuple[threading.Event, bool]:
+        """Claim (or join) the in-flight expansion of ``table.attribute``.
+
+        Returns ``(event, owner)``.  The first caller becomes the owner
+        (``owner=True``) and must call :meth:`end_expansion` when done;
+        later callers get ``owner=False`` and should wait on the event
+        instead of re-running the (expensive) crowd expansion themselves.
+        """
+        key = (table.lower(), attribute.lower())
+        with self.lock:
+            event = self._expansions.get(key)
+            if event is not None:
+                return event, False
+            event = threading.Event()
+            self._expansions[key] = event
+            return event, True
+
+    def end_expansion(self, table: str, attribute: str) -> None:
+        """Release the in-flight claim and wake any waiting connections."""
+        key = (table.lower(), attribute.lower())
+        with self.lock:
+            event = self._expansions.pop(key, None)
+        if event is not None:
+            event.set()
+
+    @property
+    def version(self) -> int:
+        """Schema version; changes whenever a DDL statement alters the catalog."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Record a schema change and return the new version."""
+        self._version += 1
+        return self._version
 
     def create_table(self, schema: TableSchema, *, if_not_exists: bool = False) -> TableStorage:
         """Create a table for *schema* and return its storage."""
@@ -23,7 +75,9 @@ class Catalog:
                 return self._tables[key]
             raise DuplicateTableError(schema.name)
         storage = TableStorage(schema)
+        storage.on_schema_change = self.bump_version
         self._tables[key] = storage
+        self.bump_version()
         return storage
 
     def drop_table(self, name: str, *, if_exists: bool = False) -> None:
@@ -33,7 +87,9 @@ class Catalog:
             if if_exists:
                 return
             raise UnknownTableError(name)
+        self._tables[key].on_schema_change = None
         del self._tables[key]
+        self.bump_version()
 
     def table(self, name: str) -> TableStorage:
         """Return the storage of table *name* or raise UnknownTableError."""

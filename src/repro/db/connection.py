@@ -1,0 +1,738 @@
+"""DB-API-2.0-style connection layer for the crowd-enabled database.
+
+This module is the public entry point of :mod:`repro.db`:
+
+>>> import repro
+>>> conn = repro.connect()
+>>> cur = conn.cursor()
+>>> _ = cur.execute("CREATE TABLE movies (movie_id INTEGER PRIMARY KEY, name TEXT)")
+>>> _ = cur.execute("INSERT INTO movies (movie_id, name) VALUES (?, ?)", (1, "Rocky"))
+>>> cur.execute("SELECT name FROM movies WHERE movie_id = ?", (1,)).fetchone()
+('Rocky',)
+
+Compared with the legacy :class:`~repro.db.database.CrowdDatabase` facade it
+adds three capabilities the paper's query-driven workload needs at scale:
+
+* **parameter binding** — qmark-style ``?`` placeholders bound through the
+  AST, so values never get interpolated into SQL strings;
+* a **prepared-statement LRU cache** per connection, keyed on SQL text:
+  hot repeated queries skip tokenize/parse/plan (plans are invalidated via
+  the catalog's schema version when DDL changes the schema); and
+* a **session-scoped crowd context** (:class:`SessionContext`) carrying the
+  missing-value resolver, the schema-expansion handler, the cost ledger and
+  a per-session budget.  Two connections sharing one
+  :class:`~repro.db.catalog.Catalog` can run different crowd policies
+  concurrently; the catalog's lock guards shared reads and writes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
+
+from repro.db.catalog import Catalog
+from repro.db.schema import AttributeKind, Column, TableSchema
+from repro.db.sql import ast
+from repro.db.sql.executor import Executor, QueryResult
+from repro.db.sql.expressions import MissingResolver
+from repro.db.sql.parameters import bind_select_plan, bind_statement, check_arity, count_parameters
+from repro.db.sql.parser import parse_script, parse_statement
+from repro.db.sql.planner import Planner, SelectPlan
+from repro.db.storage import TableStorage
+from repro.db.types import MISSING, ColumnType
+from repro.errors import ExecutionError, UnknownColumnError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports db)
+    from repro.core.ledger import ExpansionLedger
+    from repro.core.schema_expansion import ExpansionPipeline
+
+#: Signature of the query-driven schema-expansion hook: ``(table, column)``
+#: returns True if the column was added (the statement is retried once).
+ExpansionHandler = Callable[[str, str], bool]
+
+#: DB-API module attributes.
+apilevel = "2.0"
+threadsafety = 2  # threads may share the module and connections' catalog
+paramstyle = "qmark"
+
+
+def _normalize_params(params: Sequence[Any]) -> tuple[Any, ...]:
+    """Validate and normalize a caller-supplied parameter sequence."""
+    if isinstance(params, (str, bytes)) or not isinstance(params, Sequence):
+        raise TypeError("parameters must be a sequence, e.g. a tuple")
+    return tuple(params)
+
+
+# ---------------------------------------------------------------------------
+# Session context
+# ---------------------------------------------------------------------------
+
+
+class SessionContext:
+    """Per-connection crowd-sourcing policy state.
+
+    Replaces the legacy global ``set_missing_resolver`` /
+    ``set_expansion_handler`` mutators: each connection owns one session, so
+    two connections to the same shared catalog can resolve MISSING values
+    and expand schemas with entirely different policies without clobbering
+    each other.
+
+    Parameters
+    ----------
+    missing_resolver:
+        Hook consulted when a query reads a value marked MISSING.
+    expansion_handler:
+        Hook consulted when a SELECT references an unknown column.
+    ledger:
+        Cost/time ledger shared with the expansion machinery (created
+        lazily when first accessed).
+    max_cost:
+        Optional budget in dollars.  Once ``cost_spent`` reaches it the
+        session refuses further crowd-backed schema expansions.
+    """
+
+    def __init__(
+        self,
+        *,
+        missing_resolver: MissingResolver | None = None,
+        expansion_handler: ExpansionHandler | None = None,
+        ledger: "ExpansionLedger | None" = None,
+        max_cost: float | None = None,
+    ) -> None:
+        self.missing_resolver = missing_resolver
+        self.expansion_handler = expansion_handler
+        self._ledger = ledger
+        self.max_cost = max_cost
+        self.cost_spent = 0.0
+
+    @property
+    def ledger(self) -> "ExpansionLedger":
+        """The session's expansion ledger (created on first access)."""
+        if self._ledger is None:
+            from repro.core.ledger import ExpansionLedger
+
+            self._ledger = ExpansionLedger()
+        return self._ledger
+
+    @ledger.setter
+    def ledger(self, value: "ExpansionLedger | None") -> None:
+        self._ledger = value
+
+    @property
+    def remaining_budget(self) -> float | None:
+        """Money left before the budget is exhausted (None = unlimited)."""
+        if self.max_cost is None:
+            return None
+        return max(0.0, self.max_cost - self.cost_spent)
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """True once the session has spent its entire budget."""
+        return self.max_cost is not None and self.cost_spent >= self.max_cost
+
+    def record_cost(self, cost: float) -> None:
+        """Account *cost* dollars of crowd spending against this session."""
+        self.cost_spent += float(cost)
+
+    def __repr__(self) -> str:
+        budget = "unlimited" if self.max_cost is None else f"${self.max_cost:.2f}"
+        return (
+            f"SessionContext(resolver={self.missing_resolver is not None}, "
+            f"expansion={self.expansion_handler is not None}, budget={budget})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Prepared statements and their cache
+# ---------------------------------------------------------------------------
+
+
+class PreparedStatement:
+    """A parsed statement template plus its lazily cached SELECT plan."""
+
+    __slots__ = ("sql", "statement", "parameter_count", "_plan", "_plan_version")
+
+    def __init__(self, sql: str, statement: ast.Statement) -> None:
+        self.sql = sql
+        self.statement = statement
+        self.parameter_count = count_parameters(statement)
+        self._plan: SelectPlan | None = None
+        self._plan_version: int = -1
+
+    @property
+    def is_select(self) -> bool:
+        """True for plain SELECT statements (the plan-cached path)."""
+        return isinstance(self.statement, ast.SelectStatement)
+
+    def plan_for(self, planner: Planner, catalog_version: int) -> SelectPlan:
+        """Return the plan for this SELECT, re-planning after DDL changes."""
+        assert isinstance(self.statement, ast.SelectStatement)
+        if self._plan is None or self._plan_version != catalog_version:
+            self._plan = planner.plan_select(self.statement)
+            self._plan_version = catalog_version
+        return self._plan
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a :class:`StatementCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class StatementCache:
+    """LRU cache of :class:`PreparedStatement` objects keyed on SQL text.
+
+    A ``maxsize`` of 0 disables caching entirely (every lookup misses),
+    which is how the ablation benchmark measures the cache's effect.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 0:
+            raise ValueError("statement cache size must be >= 0")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, PreparedStatement] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, sql: str) -> PreparedStatement | None:
+        """Return the cached statement for *sql*, updating LRU order."""
+        entry = self._entries.get(sql)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(sql)
+        self._hits += 1
+        return entry
+
+    def put(self, sql: str, prepared: PreparedStatement) -> None:
+        """Insert *prepared* (evicting the least recently used on overflow)."""
+        if self.maxsize == 0:
+            return
+        self._entries[sql] = prepared
+        self._entries.move_to_end(sql)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached statement (counters are preserved)."""
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Current hit/miss/eviction counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            maxsize=self.maxsize,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, sql: str) -> bool:
+        return sql in self._entries
+
+
+# ---------------------------------------------------------------------------
+# Cursor
+# ---------------------------------------------------------------------------
+
+
+class Cursor:
+    """DB-API-2.0-style cursor bound to one :class:`Connection`."""
+
+    def __init__(self, connection: "Connection") -> None:
+        self._connection: Connection | None = connection
+        self.arraysize = 1
+        self._result: QueryResult | None = None
+        self._position = 0
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
+        """Execute one statement with optional qmark parameters."""
+        connection = self._require_connection()
+        # Drop the previous result first so a failed execute can never be
+        # followed by fetches of stale rows.
+        self._result = None
+        self._position = 0
+        self._result = connection.run_statement(sql, params)
+        return self
+
+    def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
+        """Execute a DML statement once per parameter tuple.
+
+        The statement is prepared once; only binding and execution repeat.
+        Returning statements (SELECT/EXPLAIN) are rejected, mirroring the
+        standard DB-API behaviour.
+        """
+        connection = self._require_connection()
+        self._result = None
+        self._position = 0
+        total = connection._run_many(sql, seq_of_params)
+        self._result = QueryResult(columns=[], rows=[], rowcount=total)
+        return self
+
+    # -- result access -----------------------------------------------------------
+
+    @property
+    def result(self) -> QueryResult | None:
+        """The full :class:`QueryResult` of the last ``execute`` call."""
+        return self._result
+
+    @property
+    def description(self) -> list[tuple[Any, ...]] | None:
+        """DB-API column descriptions (7-tuples) of the last result."""
+        if self._result is None or not self._result.columns:
+            return None
+        return [(name, None, None, None, None, None, None) for name in self._result.columns]
+
+    @property
+    def rowcount(self) -> int:
+        """Rows returned (SELECT) or affected (DML) by the last statement."""
+        if self._result is None:
+            return -1
+        return self._result.rowcount
+
+    def fetchone(self) -> tuple[Any, ...] | None:
+        """Return the next result row, or None when exhausted."""
+        rows = self._rows()
+        if self._position >= len(rows):
+            return None
+        row = rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: int | None = None) -> list[tuple[Any, ...]]:
+        """Return up to *size* rows (default: ``cursor.arraysize``)."""
+        if size is None:
+            size = self.arraysize
+        rows = self._rows()
+        chunk = rows[self._position : self._position + size]
+        self._position += len(chunk)
+        return list(chunk)
+
+    def fetchall(self) -> list[tuple[Any, ...]]:
+        """Return all remaining result rows."""
+        rows = self._rows()
+        chunk = rows[self._position :]
+        self._position = len(rows)
+        return list(chunk)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return self
+
+    def __next__(self) -> tuple[Any, ...]:
+        row = self.fetchone()
+        if row is None:
+            raise StopIteration
+        return row
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach the cursor from its connection."""
+        self._connection = None
+        self._result = None
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _require_connection(self) -> "Connection":
+        if self._connection is None:
+            raise ExecutionError("cursor is closed")
+        return self._connection
+
+    def _rows(self) -> list[tuple[Any, ...]]:
+        if self._result is None:
+            raise ExecutionError("no statement has been executed on this cursor")
+        return self._result.rows
+
+
+# ---------------------------------------------------------------------------
+# Connection
+# ---------------------------------------------------------------------------
+
+
+class Connection:
+    """A session against a (possibly shared) crowd-database catalog.
+
+    Parameters
+    ----------
+    catalog:
+        The catalog to operate on.  Pass an existing instance to share
+        tables between connections; by default a fresh private catalog is
+        created.
+    session:
+        The crowd context; a blank :class:`SessionContext` by default.
+    statement_cache_size:
+        Capacity of the prepared-statement LRU cache (0 disables caching).
+    statement_log_size:
+        Number of most recent SQL strings retained in
+        :attr:`statement_log` (None keeps an unbounded log).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        *,
+        session: SessionContext | None = None,
+        statement_cache_size: int = 128,
+        statement_log_size: int | None = 1000,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.session = session if session is not None else SessionContext()
+        self._executor = Executor(self.catalog)
+        self._planner = Planner(self.catalog)
+        self._cache = StatementCache(statement_cache_size)
+        self._lock = threading.RLock()
+        self._statement_log: deque[str] = deque(maxlen=statement_log_size)
+        self._closed = False
+
+    # -- DB-API surface -----------------------------------------------------------
+
+    def cursor(self) -> Cursor:
+        """Return a new :class:`Cursor` bound to this connection."""
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Cursor:
+        """Shortcut: create a cursor and execute *sql* on it."""
+        return self.cursor().execute(sql, params)
+
+    def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]]) -> Cursor:
+        """Shortcut: create a cursor and run ``executemany`` on it."""
+        return self.cursor().executemany(sql, seq_of_params)
+
+    def execute_script(self, sql: str) -> list[QueryResult]:
+        """Execute a ``;``-separated script; returns one result per statement."""
+        self._check_open()
+        results = []
+        with self._lock:
+            for source, statement in parse_script(sql):
+                self._log_statement(source)
+                results.append(self._execute_parsed(statement, ()))
+        return results
+
+    def commit(self) -> None:
+        """No-op: the in-memory engine auto-commits every statement."""
+        self._check_open()
+
+    def rollback(self) -> None:
+        """Unsupported: the in-memory engine has no transactions."""
+        raise ExecutionError("the crowd database does not support transactions")
+
+    def close(self) -> None:
+        """Close the connection; subsequent statement execution fails."""
+        self._closed = True
+        self._cache.clear()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- session configuration ----------------------------------------------------
+
+    def set_missing_resolver(self, resolver: MissingResolver | None) -> None:
+        """Install the session's resolver for MISSING values at query time."""
+        self.session.missing_resolver = resolver
+
+    def set_expansion_handler(self, handler: ExpansionHandler | None) -> None:
+        """Install the session's handler for unknown-column expansion."""
+        self.session.expansion_handler = handler
+
+    def expansion(self) -> "ExpansionPipeline":
+        """Start a fluent :class:`~repro.core.schema_expansion.ExpansionPipeline`.
+
+        >>> conn.expansion().with_policy(policy).with_key("movie_id").attach()
+        """
+        from repro.core.schema_expansion import ExpansionPipeline
+
+        return ExpansionPipeline(self)
+
+    # -- statement cache ----------------------------------------------------------
+
+    @property
+    def statement_cache(self) -> StatementCache:
+        """The connection's prepared-statement cache."""
+        return self._cache
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss statistics of the prepared-statement cache."""
+        return self._cache.stats()
+
+    # -- execution core ----------------------------------------------------------
+
+    def run_statement(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        *,
+        explain: bool = False,
+        allow_expansion: bool = True,
+    ) -> QueryResult:
+        """Prepare (or reuse), bind, execute and possibly expand-and-retry."""
+        self._check_open()
+        params = _normalize_params(params)
+        with self._lock:
+            self._log_statement(sql)
+            prepared = self._prepare(sql)
+            check_arity(prepared.parameter_count, params)
+            return self._execute_with_expansion(
+                lambda: self._execute_prepared(prepared, params, explain=explain),
+                is_select=prepared.is_select,
+                allow_expansion=allow_expansion,
+            )
+
+    def _execute_with_expansion(
+        self,
+        execute: Callable[[], QueryResult],
+        *,
+        is_select: bool,
+        allow_expansion: bool = True,
+    ) -> QueryResult:
+        """Run *execute*, giving the session's expansion handler one retry.
+
+        Crowd work never runs under the catalog lock: the *execute*
+        callables acquire it only around catalog/storage access (planning,
+        scanning, DML), and the expansion handler — which can spend
+        (simulated) minutes crowd-sourcing — runs here with no lock held,
+        taking it itself for the brief schema mutations it performs.
+        """
+        try:
+            return execute()
+        except UnknownColumnError as error:
+            handler = self.session.expansion_handler
+            if not allow_expansion or handler is None or not is_select or error.table is None:
+                raise
+            if not handler(error.table, error.column):
+                raise
+            return execute()
+
+    def _run_many(self, sql: str, seq_of_params: Iterable[Sequence[Any]]) -> int:
+        """Prepare *sql* once, then bind and execute per parameter tuple.
+
+        Returns the total affected row count.  Statements that return rows
+        are rejected (DB-API behaviour); DML never triggers expansion, so
+        the whole batch runs under one catalog-lock acquisition.
+        """
+        self._check_open()
+        total = 0
+        with self._lock:
+            self._log_statement(sql)
+            prepared = self._prepare(sql)
+            if isinstance(prepared.statement, (ast.SelectStatement, ast.ExplainStatement)):
+                raise ExecutionError("executemany() cannot execute statements that return rows")
+            # Drain and validate the caller's iterable outside the catalog
+            # lock (a slow generator must not stall other connections);
+            # binding itself is cheap CPU work and happens per tuple inside
+            # the lock so only the raw parameter tuples are materialized.
+            batches = []
+            for params in seq_of_params:
+                params = _normalize_params(params)
+                check_arity(prepared.parameter_count, params)
+                batches.append(params)
+            with self.catalog.lock:
+                for params in batches:
+                    statement = (
+                        bind_statement(prepared.statement, params, verify_arity=False)
+                        if params
+                        else prepared.statement
+                    )
+                    result = self._executor.execute(
+                        statement, missing_resolver=self.session.missing_resolver
+                    )
+                    total += result.rowcount
+        return total
+
+    def _execute_prepared(
+        self, prepared: PreparedStatement, params: tuple[Any, ...], *, explain: bool
+    ) -> QueryResult:
+        if prepared.is_select:
+            with self.catalog.lock:
+                plan = prepared.plan_for(self._planner, self.catalog.version)
+                bound_plan = bind_select_plan(plan, params)
+            return self._executor.execute_select_plan(
+                bound_plan,
+                missing_resolver=self.session.missing_resolver,
+                explain=explain,
+                lock=self.catalog.lock,
+            )
+        statement = (
+            bind_statement(prepared.statement, params, verify_arity=False)
+            if params
+            else prepared.statement
+        )
+        return self._executor.execute(
+            statement,
+            missing_resolver=self.session.missing_resolver,
+            explain=explain,
+            lock=self.catalog.lock,
+        )
+
+    def _execute_parsed(self, statement: ast.Statement, params: tuple[Any, ...]) -> QueryResult:
+        """Execute an already-parsed statement (script path; no caching).
+
+        Like the prepared path, SELECTs referencing an unknown column get
+        one chance at session-scoped schema expansion before the error
+        propagates.
+        """
+        check_arity(count_parameters(statement), params)
+        if params:
+            statement = bind_statement(statement, params, verify_arity=False)
+        return self._execute_with_expansion(
+            lambda: self._executor.execute(
+                statement,
+                missing_resolver=self.session.missing_resolver,
+                lock=self.catalog.lock,
+            ),
+            is_select=isinstance(statement, ast.SelectStatement),
+        )
+
+    def _prepare(self, sql: str) -> PreparedStatement:
+        prepared = self._cache.get(sql)
+        if prepared is None:
+            prepared = PreparedStatement(sql, parse_statement(sql))
+            self._cache.put(sql, prepared)
+        return prepared
+
+    def _log_statement(self, sql: str) -> None:
+        self._statement_log.append(sql)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("connection is closed")
+
+    # -- introspection and plan inspection ---------------------------------------
+
+    def explain(self, sql: str) -> str:
+        """Return the plan description of a SELECT statement."""
+        self._check_open()
+        with self._lock, self.catalog.lock:
+            prepared = self._prepare(sql)
+            if not prepared.is_select:
+                raise ExecutionError("EXPLAIN is only supported for SELECT statements")
+            return prepared.plan_for(self._planner, self.catalog.version).describe()
+
+    @property
+    def statement_log(self) -> Sequence[str]:
+        """The most recent SQL strings executed on this connection."""
+        return tuple(self._statement_log)
+
+    def table_names(self) -> list[str]:
+        """Names of all tables in the catalog."""
+        with self.catalog.lock:
+            return self.catalog.table_names()
+
+    def describe(self, table_name: str) -> list[dict[str, Any]]:
+        """Schema description of *table_name* (one dict per column)."""
+        with self.catalog.lock:
+            return self.catalog.table(table_name).schema.describe()
+
+    # -- programmatic schema and data access --------------------------------------
+
+    def create_table(self, schema: TableSchema, *, if_not_exists: bool = False) -> TableStorage:
+        """Create a table from a :class:`~repro.db.schema.TableSchema` object."""
+        with self.catalog.lock:
+            return self.catalog.create_table(schema, if_not_exists=if_not_exists)
+
+    def table(self, name: str) -> TableStorage:
+        """Return the storage object of table *name*."""
+        return self.catalog.table(name)
+
+    def insert_rows(self, table_name: str, rows: Iterable[dict[str, Any]]) -> int:
+        """Bulk-insert dictionaries into *table_name*; returns the row count."""
+        with self.catalog.lock:
+            table = self.catalog.table(table_name)
+            return len(table.insert_many(rows))
+
+    def add_perceptual_column(
+        self,
+        table_name: str,
+        column_name: str,
+        column_type: Any = None,
+    ) -> Column:
+        """Add a new perceptual column initialised to MISSING and return it."""
+        with self.catalog.lock:
+            table = self.catalog.table(table_name)
+            resolved_type = column_type or ColumnType.REAL
+            column = Column(
+                name=column_name,
+                type=resolved_type,
+                kind=AttributeKind.PERCEPTUAL,
+                nullable=True,
+                default=MISSING,
+            )
+            table.add_column(column, fill_value=MISSING)
+            return column
+
+    def column_values(self, table_name: str, column_name: str) -> dict[int, Any]:
+        """Return ``rowid -> value`` for one column (including MISSING cells)."""
+        with self.catalog.lock:
+            table = self.catalog.table(table_name)
+            key = table.schema.column(column_name).name
+            return {rowid: row.get(key) for rowid, row in table.scan()}
+
+    def missing_count(self, table_name: str, column_name: str) -> int:
+        """Number of MISSING cells in ``table_name.column_name``."""
+        with self.catalog.lock:
+            return len(self.catalog.table(table_name).missing_rowids(column_name))
+
+    def __repr__(self) -> str:
+        tables = ", ".join(self.table_names()) or "<empty>"
+        state = "closed" if self._closed else "open"
+        return f"Connection({state}, tables=[{tables}])"
+
+
+def connect(
+    catalog: Catalog | None = None,
+    *,
+    session: SessionContext | None = None,
+    statement_cache_size: int = 128,
+    statement_log_size: int | None = 1000,
+) -> Connection:
+    """Open a connection to a new or shared in-memory crowd database.
+
+    This is the module-level DB-API entry point::
+
+        conn = repro.connect()
+        conn.cursor().execute("SELECT name FROM movies WHERE movie_id = ?", (1,))
+
+    Pass an existing :class:`~repro.db.catalog.Catalog` to share one set of
+    tables between several connections, each with its own
+    :class:`SessionContext` (resolver, expansion policy, budget).
+    """
+    return Connection(
+        catalog,
+        session=session,
+        statement_cache_size=statement_cache_size,
+        statement_log_size=statement_log_size,
+    )

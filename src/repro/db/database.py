@@ -1,13 +1,19 @@
-"""The crowd-enabled database facade.
+"""Legacy crowd-database facade (deprecated compatibility shim).
 
-:class:`CrowdDatabase` bundles catalog, parser, planner and executor behind
-one object and adds the two hooks that make it *crowd-enabled*:
+.. deprecated::
+    :class:`CrowdDatabase` predates the connection API and is kept as a thin
+    shim over :class:`~repro.db.connection.Connection` so existing code and
+    tests keep working.  New code should use :func:`repro.connect`, which
+    adds parameterized queries, a prepared-statement cache and session-scoped
+    crowd policies::
 
-* a **missing-value resolver** consulted whenever a query touches a value
-  marked MISSING (direct crowd-sourcing at query time), and
-* an **expansion handler** consulted whenever a query references a column
-  that does not exist yet (query-driven schema expansion — the paper's core
-  contribution, implemented in :mod:`repro.core`).
+        conn = repro.connect()
+        cur = conn.cursor()
+        cur.execute("SELECT name FROM movies WHERE movie_id = ?", (1,))
+
+Every method below delegates to an internal connection; the legacy global
+``set_missing_resolver`` / ``set_expansion_handler`` mutators now configure
+that connection's :class:`~repro.db.connection.SessionContext`.
 
 Example
 -------
@@ -22,51 +28,65 @@ QueryResult(columns=[], rows=[], rowcount=0, plan_description=None)
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
-from repro.db.catalog import Catalog
-from repro.db.schema import AttributeKind, Column, TableSchema
-from repro.db.sql.ast import SelectStatement, Statement
-from repro.db.sql.executor import Executor, QueryResult
+from repro.db.connection import Connection, ExpansionHandler, SessionContext
+from repro.db.schema import Column, TableSchema
+from repro.db.sql.executor import QueryResult
 from repro.db.sql.expressions import MissingResolver
-from repro.db.sql.parser import parse_sql, parse_statement
-from repro.db.sql.planner import Planner
 from repro.db.storage import TableStorage
-from repro.db.types import MISSING
-from repro.errors import ExecutionError, UnknownColumnError
 
-#: Signature of the query-driven schema-expansion hook.  It receives the
-#: table name and the unknown column name and returns True if it added the
-#: column (in which case the query is retried once).
-ExpansionHandler = Callable[[str, str], bool]
+__all__ = ["CrowdDatabase", "ExpansionHandler", "QueryResult"]
 
 
 class CrowdDatabase:
-    """An in-memory crowd-enabled relational database."""
+    """An in-memory crowd-enabled relational database (deprecated shim).
 
-    def __init__(self) -> None:
-        self.catalog = Catalog()
-        self._executor = Executor(self.catalog)
-        self._planner = Planner(self.catalog)
-        self._missing_resolver: MissingResolver | None = None
-        self._expansion_handler: ExpansionHandler | None = None
-        self._statement_log: list[str] = []
+    Parameters
+    ----------
+    statement_log_size:
+        Number of most recent SQL strings retained in
+        :attr:`statement_log`.  Bounded by default so long-lived databases
+        do not grow memory without limit; pass ``None`` for an unbounded
+        log.
+    """
+
+    def __init__(self, *, statement_log_size: int | None = 1000) -> None:
+        self._connection = Connection(
+            session=SessionContext(), statement_log_size=statement_log_size
+        )
+
+    @property
+    def connection(self) -> Connection:
+        """The underlying :class:`~repro.db.connection.Connection`."""
+        return self._connection
+
+    @property
+    def catalog(self):
+        """The underlying catalog (shared with :attr:`connection`)."""
+        return self._connection.catalog
+
+    @property
+    def session(self) -> SessionContext:
+        """The connection's session-scoped crowd context."""
+        return self._connection.session
 
     # -- configuration -----------------------------------------------------------
 
     def set_missing_resolver(self, resolver: MissingResolver | None) -> None:
         """Install the resolver consulted for MISSING values at query time."""
-        self._missing_resolver = resolver
+        self._connection.set_missing_resolver(resolver)
 
     def set_expansion_handler(self, handler: ExpansionHandler | None) -> None:
         """Install the handler consulted when a query references an unknown column."""
-        self._expansion_handler = handler
+        self._connection.set_expansion_handler(handler)
 
     # -- statement execution -------------------------------------------------------
 
     def execute(
         self,
         sql: str,
+        params: Sequence[Any] = (),
         *,
         explain: bool = False,
         allow_expansion: bool = True,
@@ -78,68 +98,31 @@ class CrowdDatabase:
         add the column (e.g. by running the perceptual-space pipeline), after
         which the statement is retried.
         """
-        self._statement_log.append(sql)
-        statement = parse_statement(sql)
-        return self._execute_statement(
-            statement, explain=explain, allow_expansion=allow_expansion
+        return self._connection.run_statement(
+            sql, params, explain=explain, allow_expansion=allow_expansion
         )
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Execute a ``;``-separated script and return one result per statement."""
-        results = []
-        for statement in parse_sql(sql):
-            self._statement_log.append(sql)
-            results.append(self._execute_statement(statement))
-        return results
-
-    def _execute_statement(
-        self,
-        statement: Statement,
-        *,
-        explain: bool = False,
-        allow_expansion: bool = True,
-    ) -> QueryResult:
-        try:
-            return self._executor.execute(
-                statement, missing_resolver=self._missing_resolver, explain=explain
-            )
-        except UnknownColumnError as error:
-            if (
-                not allow_expansion
-                or self._expansion_handler is None
-                or not isinstance(statement, SelectStatement)
-                or error.table is None
-            ):
-                raise
-            handled = self._expansion_handler(error.table, error.column)
-            if not handled:
-                raise
-            return self._executor.execute(
-                statement, missing_resolver=self._missing_resolver, explain=explain
-            )
+        return self._connection.execute_script(sql)
 
     def explain(self, sql: str) -> str:
         """Return the plan description for a SELECT statement."""
-        statement = parse_statement(sql)
-        if not isinstance(statement, SelectStatement):
-            raise ExecutionError("EXPLAIN is only supported for SELECT statements")
-        plan = self._planner.plan_select(statement)
-        return plan.describe()
+        return self._connection.explain(sql)
 
     # -- programmatic schema and data access ------------------------------------------
 
     def create_table(self, schema: TableSchema, *, if_not_exists: bool = False) -> TableStorage:
         """Create a table from a :class:`~repro.db.schema.TableSchema` object."""
-        return self.catalog.create_table(schema, if_not_exists=if_not_exists)
+        return self._connection.create_table(schema, if_not_exists=if_not_exists)
 
     def table(self, name: str) -> TableStorage:
         """Return the storage object of table *name*."""
-        return self.catalog.table(name)
+        return self._connection.table(name)
 
     def insert_rows(self, table_name: str, rows: Iterable[dict[str, Any]]) -> int:
         """Bulk-insert dictionaries into *table_name*; returns the row count."""
-        table = self.catalog.table(table_name)
-        return len(table.insert_many(rows))
+        return self._connection.insert_rows(table_name, rows)
 
     def add_perceptual_column(
         self,
@@ -148,44 +131,31 @@ class CrowdDatabase:
         column_type: Any = None,
     ) -> Column:
         """Add a new perceptual column initialised to MISSING and return it."""
-        from repro.db.types import ColumnType
-
-        table = self.catalog.table(table_name)
-        resolved_type = column_type or ColumnType.REAL
-        column = Column(
-            name=column_name,
-            type=resolved_type,
-            kind=AttributeKind.PERCEPTUAL,
-            nullable=True,
-            default=MISSING,
-        )
-        table.add_column(column, fill_value=MISSING)
-        return column
+        return self._connection.add_perceptual_column(table_name, column_name, column_type)
 
     def column_values(self, table_name: str, column_name: str) -> dict[int, Any]:
         """Return ``rowid -> value`` for one column (including MISSING cells)."""
-        table = self.catalog.table(table_name)
-        key = table.schema.column(column_name).name
-        return {rowid: row.get(key) for rowid, row in table.scan()}
+        return self._connection.column_values(table_name, column_name)
 
     def missing_count(self, table_name: str, column_name: str) -> int:
         """Number of MISSING cells in ``table_name.column_name``."""
-        return len(self.catalog.table(table_name).missing_rowids(column_name))
+        return self._connection.missing_count(table_name, column_name)
 
     # -- introspection -------------------------------------------------------------------
 
     def table_names(self) -> list[str]:
         """Names of all tables."""
-        return self.catalog.table_names()
+        return self._connection.table_names()
 
     def describe(self, table_name: str) -> list[dict[str, Any]]:
         """Schema description of *table_name* (one dict per column)."""
-        return self.catalog.table(table_name).schema.describe()
+        return self._connection.describe(table_name)
 
     @property
     def statement_log(self) -> Sequence[str]:
-        """Every SQL string passed to :meth:`execute` / :meth:`execute_script`."""
-        return tuple(self._statement_log)
+        """The most recent SQL statements passed to :meth:`execute` /
+        :meth:`execute_script` (individual statements, bounded length)."""
+        return self._connection.statement_log
 
     def __repr__(self) -> str:
         tables = ", ".join(self.table_names()) or "<empty>"

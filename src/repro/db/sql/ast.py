@@ -26,6 +26,17 @@ class Literal(Expression):
 
 
 @dataclass(frozen=True)
+class Parameter(Expression):
+    """A qmark-style ``?`` placeholder, numbered left to right from 0.
+
+    Parameters are bound to concrete values at execution time (see
+    :mod:`repro.db.sql.parameters`), never interpolated into SQL text.
+    """
+
+    index: int
+
+
+@dataclass(frozen=True)
 class ColumnRef(Expression):
     """Reference to a column, optionally qualified by a table alias."""
 

@@ -9,8 +9,9 @@ behave as unknown values.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, ContextManager, Iterable, Sequence
 
 from repro.db.catalog import Catalog
 from repro.db.schema import AttributeKind, Column, TableSchema
@@ -89,16 +90,27 @@ class Executor:
         *,
         missing_resolver: MissingResolver | None = None,
         explain: bool = False,
+        lock: ContextManager[Any] | None = None,
     ) -> QueryResult:
-        """Execute a parsed statement and return its result."""
+        """Execute a parsed statement and return its result.
+
+        When *lock* is given (the shared-catalog lock of the connection
+        layer), catalog/storage access runs under it, but the evaluation
+        phase of SELECTs — where a crowd-backed ``missing_resolver`` may
+        spend real time — runs outside it on row copies, so one session's
+        crowd-sourcing does not serialize others.
+        """
+        guard = lock if lock is not None else nullcontext()
         if isinstance(statement, ast.SelectStatement):
-            plan = self._planner.plan_select(statement)
-            result = self._execute_select(plan, missing_resolver)
+            with guard:
+                plan = self._planner.plan_select(statement)
+            result = self._execute_select(plan, missing_resolver, lock=lock)
             if explain:
                 result.plan_description = plan.describe()
             return result
         if isinstance(statement, ast.ExplainStatement):
-            plan = self._planner.plan_select(statement.statement)
+            with guard:
+                plan = self._planner.plan_select(statement.statement)
             description = plan.describe()
             return QueryResult(
                 columns=["plan"],
@@ -106,30 +118,54 @@ class Executor:
                 rowcount=0,
                 plan_description=description,
             )
-        if isinstance(statement, ast.CreateTableStatement):
-            return self._execute_create_table(statement)
-        if isinstance(statement, ast.CreateIndexStatement):
-            table = self._catalog.table(statement.table)
-            table.create_index(statement.column)
-            return QueryResult(columns=[], rows=[], rowcount=0)
-        if isinstance(statement, ast.DropTableStatement):
-            return self._execute_drop_table(statement)
-        if isinstance(statement, ast.AlterTableAddColumn):
-            return self._execute_alter_add_column(statement)
-        if isinstance(statement, ast.InsertStatement):
-            return self._execute_insert(statement)
-        if isinstance(statement, ast.UpdateStatement):
-            return self._execute_update(statement)
-        if isinstance(statement, ast.DeleteStatement):
-            return self._execute_delete(statement)
+        with guard:
+            if isinstance(statement, ast.CreateTableStatement):
+                return self._execute_create_table(statement)
+            if isinstance(statement, ast.CreateIndexStatement):
+                table = self._catalog.table(statement.table)
+                table.create_index(statement.column)
+                return QueryResult(columns=[], rows=[], rowcount=0)
+            if isinstance(statement, ast.DropTableStatement):
+                return self._execute_drop_table(statement)
+            if isinstance(statement, ast.AlterTableAddColumn):
+                return self._execute_alter_add_column(statement)
+            if isinstance(statement, ast.InsertStatement):
+                return self._execute_insert(statement)
+            if isinstance(statement, ast.UpdateStatement):
+                return self._execute_update(statement)
+            if isinstance(statement, ast.DeleteStatement):
+                return self._execute_delete(statement)
         raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
+
+    def execute_select_plan(
+        self,
+        plan: SelectPlan,
+        *,
+        missing_resolver: MissingResolver | None = None,
+        explain: bool = False,
+        lock: ContextManager[Any] | None = None,
+    ) -> QueryResult:
+        """Execute an already-planned SELECT (the statement-cache fast path)."""
+        result = self._execute_select(plan, missing_resolver, lock=lock)
+        if explain:
+            result.plan_description = plan.describe()
+        return result
 
     # -- SELECT -----------------------------------------------------------------
 
     def _execute_select(
-        self, plan: SelectPlan, missing_resolver: MissingResolver | None
+        self,
+        plan: SelectPlan,
+        missing_resolver: MissingResolver | None,
+        *,
+        lock: ContextManager[Any] | None = None,
     ) -> QueryResult:
-        contexts = self._build_contexts(plan, missing_resolver)
+        # Context building touches live storage and runs under the shared
+        # lock; the contexts hold row *copies*, so filtering, projection and
+        # aggregation below (where a missing resolver may crowd-source) are
+        # safe to run unlocked.
+        with (lock if lock is not None else nullcontext()):
+            contexts = self._build_contexts(plan, missing_resolver)
 
         if plan.where is not None:
             contexts = [

@@ -184,6 +184,11 @@ def evaluate(
     if isinstance(expr, ast.Star):
         raise ExecutionError("'*' is only valid inside COUNT(*) or a SELECT list")
 
+    if isinstance(expr, ast.Parameter):
+        raise ExecutionError(
+            f"unbound parameter {expr.index + 1}; bind values before execution"
+        )
+
     if isinstance(expr, ast.UnaryOp):
         operand = evaluate(expr.operand, context, missing_resolver=missing_resolver)
         if expr.op == "not":
@@ -336,4 +341,8 @@ def expression_label(expr: ast.Expression) -> str:
         return f"{expr.op} {expression_label(expr.operand)}"
     if isinstance(expr, ast.Star):
         return "*"
+    if isinstance(expr, ast.Parameter):
+        # Include the position: distinct placeholders must never compare
+        # equal (GROUP BY validation matches expressions by label).
+        return f"?{expr.index + 1}"
     return type(expr).__name__.lower()

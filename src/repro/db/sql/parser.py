@@ -20,6 +20,7 @@ class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self._tokens = tokens
         self._index = 0
+        self._parameter_count = 0
 
     # -- token-stream helpers -------------------------------------------------
 
@@ -493,6 +494,12 @@ class _Parser:
     def _parse_primary(self) -> ast.Expression:
         token = self._peek()
 
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            parameter = ast.Parameter(self._parameter_count)
+            self._parameter_count += 1
+            return parameter
+
         if token.type is TokenType.NUMBER:
             self._advance()
             value = float(token.value) if "." in token.value or "e" in token.value.lower() else int(token.value)
@@ -590,10 +597,25 @@ def parse_statement(sql: str) -> ast.Statement:
 
 def parse_sql(sql: str) -> list[ast.Statement]:
     """Parse a script containing one or more ``;``-separated statements."""
+    return [statement for _source, statement in parse_script(sql)]
+
+
+def parse_script(sql: str) -> list[tuple[str, ast.Statement]]:
+    """Parse a ``;``-separated script into ``(source_text, statement)`` pairs.
+
+    The source text of each statement is recovered from the token positions,
+    so callers (e.g. the connection's statement log) can record individual
+    statements instead of the whole script.
+    """
     parser = _Parser(tokenize(sql))
-    statements: list[ast.Statement] = []
+    pairs: list[tuple[str, ast.Statement]] = []
     while not parser.at_end():
-        statements.append(parser.parse_statement())
+        # Placeholders are numbered per statement, not per script.
+        parser._parameter_count = 0
+        start = parser._peek().position
+        statement = parser.parse_statement()
+        end = parser._peek().position
+        pairs.append((sql[start:end].strip(), statement))
         while parser._match_punct(";"):
             pass
-    return statements
+    return pairs

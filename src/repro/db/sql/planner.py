@@ -260,9 +260,11 @@ class Planner:
         if not isinstance(where, ast.BinaryOp) or where.op != "=":
             return None
         left, right = where.left, where.right
-        if isinstance(left, ast.Literal) and isinstance(right, ast.ColumnRef):
+        if isinstance(left, (ast.Literal, ast.Parameter)) and isinstance(right, ast.ColumnRef):
             left, right = right, left
-        if not isinstance(left, ast.ColumnRef) or not isinstance(right, ast.Literal):
+        if not isinstance(left, ast.ColumnRef) or not isinstance(
+            right, (ast.Literal, ast.Parameter)
+        ):
             return None
         if left.table is not None and left.table.lower() != alias.lower():
             return None

@@ -3,7 +3,8 @@
 Splits a SQL string into a stream of typed tokens.  The tokenizer is
 case-insensitive for keywords and identifiers, supports single-quoted
 string literals with doubled-quote escaping, integer and floating point
-literals, and the usual operator and punctuation set.
+literals, qmark-style ``?`` parameter placeholders, and the usual operator
+and punctuation set.
 """
 
 from __future__ import annotations
@@ -39,6 +40,7 @@ class TokenType(enum.Enum):
     STRING = "string"
     OPERATOR = "operator"
     PUNCTUATION = "punctuation"
+    PARAMETER = "parameter"
     EOF = "eof"
 
 
@@ -80,6 +82,12 @@ def tokenize(sql: str) -> list[Token]:
         if char == "-" and i + 1 < length and sql[i + 1] == "-":
             newline = sql.find("\n", i)
             i = length if newline == -1 else newline + 1
+            continue
+
+        # qmark parameter placeholder
+        if char == "?":
+            tokens.append(Token(TokenType.PARAMETER, "?", i))
+            i += 1
             continue
 
         # string literal

@@ -59,6 +59,10 @@ class TableStorage:
         self._next_rowid = 1
         self._indexes: dict[str, HashIndex] = {}
         self._pk_index: HashIndex | None = None
+        #: Optional callback invoked after every schema change (column or
+        #: index added).  The catalog installs its version bump here so
+        #: prepared-statement caches can invalidate stale plans.
+        self.on_schema_change: Callable[[], Any] | None = None
         if schema.primary_key is not None:
             self._pk_index = self.create_index(schema.primary_key)
 
@@ -75,6 +79,7 @@ class TableStorage:
         for rowid, row in self._rows.items():
             index.add(rowid, row.get(key))
         self._indexes[key] = index
+        self._notify_schema_change()
         return index
 
     def index_on(self, column_name: str) -> HashIndex | None:
@@ -175,6 +180,11 @@ class TableStorage:
         value = column.coerce(fill_value) if not is_missing(fill_value) else fill_value
         for row in self._rows.values():
             row[column.name] = value
+        self._notify_schema_change()
+
+    def _notify_schema_change(self) -> None:
+        if self.on_schema_change is not None:
+            self.on_schema_change()
 
     # -- missing-value accounting ---------------------------------------------
 
@@ -189,15 +199,22 @@ class TableStorage:
             return 0.0
         return len(self.missing_rowids(column_name)) / len(self._rows)
 
-    def fill_values(self, column_name: str, values: dict[int, Any]) -> int:
+    def fill_values(
+        self, column_name: str, values: dict[int, Any], *, skip_deleted: bool = False
+    ) -> int:
         """Fill *column_name* for the given ``rowid -> value`` mapping.
 
         Returns the number of rows updated.  Used by the crowd and
-        perceptual-space layers to write obtained judgments back.
+        perceptual-space layers to write obtained judgments back.  With
+        ``skip_deleted`` rowids that no longer exist are silently dropped
+        (a concurrent session may delete rows while crowd values are being
+        obtained); otherwise a stale rowid raises :class:`ExecutionError`.
         """
         column = self.schema.column(column_name)
         updated = 0
         for rowid, value in values.items():
+            if skip_deleted and rowid not in self._rows:
+                continue
             self.update(rowid, {column.name: value})
             updated += 1
         return updated

@@ -35,6 +35,14 @@ class PlanningError(DatabaseError):
     """Raised when a parsed statement cannot be turned into a plan."""
 
 
+class ParameterBindingError(DatabaseError):
+    """Raised when query parameters do not match the ``?`` placeholders.
+
+    Covers both arity mismatches (too few / too many values) and binding
+    values of types that cannot be stored.
+    """
+
+
 class ExecutionError(DatabaseError):
     """Raised when a query plan fails during execution."""
 

@@ -6,12 +6,16 @@ perceptual-space coordinates of *all* labelled items and flags every item
 whose label contradicts the model's prediction.  Precision and recall of
 the flags with respect to the known swapped set are reported for the
 perceptual space and the metadata space, for x ∈ {5, 10, 20} %.
+
+The comparison is *paired*: for each repetition the same corrupted label
+set is scanned with every space, so precision/recall differences reflect
+the spaces themselves rather than which labels happened to be swapped.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -45,32 +49,49 @@ def corrupt_labels(
     return corrupted, swapped
 
 
-def _scan_space(
-    space: PerceptualSpace,
+def _scan_spaces(
+    spaces: Mapping[str, PerceptualSpace],
     labels: dict[int, bool],
     fraction: float,
     *,
     n_repetitions: int,
     seed: RandomState,
-) -> tuple[float, float]:
-    """Mean precision/recall of the detector over repeated corruptions."""
-    usable = {i: l for i, l in labels.items() if i in space}
-    precisions = []
-    recalls = []
+) -> dict[str, tuple[float, float]]:
+    """Mean precision/recall per space over repeated *paired* corruptions.
+
+    Every space scans the identical corrupted label set in each repetition,
+    restricted to the items present in all spaces, so the scores are
+    directly comparable.
+    """
+    usable = {
+        i: l for i, l in labels.items() if all(i in space for space in spaces.values())
+    }
+    precisions: dict[str, list[float]] = {name: [] for name in spaces}
+    recalls: dict[str, list[float]] = {name: [] for name in spaces}
     for repetition in range(n_repetitions):
         rep_seed = derive_seed(seed, fraction, repetition)
         corrupted, swapped = corrupt_labels(usable, fraction, seed=rep_seed)
-        detector = QuestionableResponseDetector(space, seed=rep_seed)
+        scores: dict[str, tuple[float, float]] = {}
         try:
-            scan = detector.scan("attribute", corrupted)
+            for name, space in spaces.items():
+                detector = QuestionableResponseDetector(space, seed=rep_seed)
+                scan = detector.scan("attribute", corrupted)
+                scores[name] = scan.score_against(swapped)
         except LearningError:
+            # Keep the comparison paired: if any space cannot train on this
+            # corruption, the whole repetition is dropped for every space.
             continue
-        precision, recall = scan.score_against(swapped)
-        precisions.append(precision)
-        recalls.append(recall)
-    if not precisions:
-        return float("nan"), float("nan")
-    return float(np.mean(precisions)), float(np.mean(recalls))
+        for name, (precision, recall) in scores.items():
+            precisions[name].append(precision)
+            recalls[name].append(recall)
+    return {
+        name: (
+            (float(np.mean(precisions[name])), float(np.mean(recalls[name])))
+            if precisions[name]
+            else (float("nan"), float("nan"))
+        )
+        for name in spaces
+    }
 
 
 def run_questionable_experiment(
@@ -87,16 +108,15 @@ def run_questionable_experiment(
     for genre in genre_names:
         labels = context.reference_labels(genre)
         row = QuestionableRow(genre=genre)
+        spaces = {"perceptual": context.space, "metadata": context.metadata_space}
         for fraction in noise_levels:
             key = int(round(fraction * 100))
-            row.perceptual[key] = _scan_space(
-                context.space, labels, fraction,
-                n_repetitions=n_repetitions, seed=derive_seed(seed, genre, "perceptual"),
+            scores = _scan_spaces(
+                spaces, labels, fraction,
+                n_repetitions=n_repetitions, seed=derive_seed(seed, genre),
             )
-            row.metadata[key] = _scan_space(
-                context.metadata_space, labels, fraction,
-                n_repetitions=n_repetitions, seed=derive_seed(seed, genre, "metadata"),
-            )
+            row.perceptual[key] = scores["perceptual"]
+            row.metadata[key] = scores["metadata"]
         rows.append(row)
 
     mean_row = QuestionableRow(genre="Mean")

@@ -19,7 +19,7 @@ import numpy as np
 from repro.errors import NotFittedError, PerceptualSpaceError
 from repro.perceptual.ratings import RatingDataset
 from repro.perceptual.space import PerceptualSpace
-from repro.utils.rng import RandomState, spawn_rng
+from repro.utils.rng import spawn_rng
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.crowd.aggregation import score_against_truth
-from repro.crowd.cost import CostModel
 from repro.crowd.hit import Answer, HITGroup, Question, make_task_items
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.quality_control import CountryFilter, GoldQuestionPolicy, QualityControl

@@ -1,0 +1,524 @@
+"""Tests for the DB-API-style connection layer (connect/Connection/Cursor)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.db import Catalog, Connection, CrowdDatabase, SessionContext, connect
+from repro.db.types import ColumnType, MISSING
+from repro.errors import (
+    ExecutionError,
+    ParameterBindingError,
+    UnknownColumnError,
+)
+
+
+@pytest.fixture
+def conn() -> Connection:
+    connection = connect()
+    cursor = connection.cursor()
+    cursor.execute(
+        "CREATE TABLE movies ("
+        " movie_id INTEGER PRIMARY KEY,"
+        " name TEXT NOT NULL,"
+        " year INTEGER,"
+        " rating REAL)"
+    )
+    cursor.executemany(
+        "INSERT INTO movies (movie_id, name, year, rating) VALUES (?, ?, ?, ?)",
+        [
+            (1, "Rocky", 1976, 8.1),
+            (2, "Psycho", 1960, 8.5),
+            (3, "Airplane!", 1980, 7.7),
+            (4, "Vertigo", 1958, 8.3),
+            (5, "Dirty Dancing", 1987, 7.0),
+        ],
+    )
+    return connection
+
+
+class TestCursorBasics:
+    def test_execute_returns_cursor_for_chaining(self, conn):
+        row = conn.cursor().execute("SELECT name FROM movies WHERE movie_id = ?", (1,)).fetchone()
+        assert row == ("Rocky",)
+
+    def test_fetchone_exhaustion(self, conn):
+        cursor = conn.execute("SELECT name FROM movies WHERE movie_id = ?", (2,))
+        assert cursor.fetchone() == ("Psycho",)
+        assert cursor.fetchone() is None
+
+    def test_fetchmany_and_arraysize(self, conn):
+        cursor = conn.execute("SELECT movie_id FROM movies ORDER BY movie_id")
+        assert cursor.fetchmany(2) == [(1,), (2,)]
+        cursor.arraysize = 2
+        assert cursor.fetchmany() == [(3,), (4,)]
+        assert cursor.fetchall() == [(5,)]
+
+    def test_iteration_protocol(self, conn):
+        cursor = conn.execute("SELECT name FROM movies WHERE year > ? ORDER BY year", (1975,))
+        assert [name for (name,) in cursor] == ["Rocky", "Airplane!", "Dirty Dancing"]
+
+    def test_description_for_select(self, conn):
+        cursor = conn.execute("SELECT name, year AS y FROM movies LIMIT 1")
+        assert [d[0] for d in cursor.description] == ["name", "y"]
+        assert all(len(d) == 7 for d in cursor.description)
+
+    def test_description_none_for_dml(self, conn):
+        cursor = conn.execute("INSERT INTO movies (movie_id, name) VALUES (?, ?)", (9, "Alien"))
+        assert cursor.description is None
+
+    def test_rowcount(self, conn):
+        assert conn.execute("SELECT * FROM movies").rowcount == 5
+        assert conn.execute("UPDATE movies SET rating = ? WHERE year < ?", (9.0, 1970)).rowcount == 2
+
+    def test_closed_cursor_raises(self, conn):
+        cursor = conn.cursor()
+        cursor.close()
+        with pytest.raises(ExecutionError):
+            cursor.execute("SELECT 1")
+
+    def test_fetch_before_execute_raises(self, conn):
+        with pytest.raises(ExecutionError):
+            conn.cursor().fetchall()
+
+    def test_failed_execute_clears_previous_result(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT name FROM movies WHERE movie_id = ?", (1,))
+        with pytest.raises(UnknownColumnError):
+            cursor.execute("SELECT nope FROM movies")
+        # The earlier query's rows must not leak out of the failed execute.
+        with pytest.raises(ExecutionError):
+            cursor.fetchall()
+
+    def test_cursor_context_manager(self, conn):
+        with conn.cursor() as cursor:
+            assert cursor.execute("SELECT count(*) FROM movies").fetchone() == (5,)
+        with pytest.raises(ExecutionError):
+            cursor.execute("SELECT 1")
+
+
+class TestParameterBinding:
+    def test_parameters_in_where(self, conn):
+        rows = conn.execute(
+            "SELECT name FROM movies WHERE year BETWEEN ? AND ? ORDER BY year", (1960, 1980)
+        ).fetchall()
+        assert rows == [("Psycho",), ("Rocky",), ("Airplane!",)]
+
+    def test_parameters_in_projection_and_in_list(self, conn):
+        rows = conn.execute(
+            "SELECT name, ? FROM movies WHERE movie_id IN (?, ?) ORDER BY movie_id",
+            ("tag", 1, 3),
+        ).fetchall()
+        assert rows == [("Rocky", "tag"), ("Airplane!", "tag")]
+
+    def test_question_mark_inside_string_literal_is_not_a_placeholder(self, conn):
+        conn.execute("INSERT INTO movies (movie_id, name) VALUES (?, 'Who? Me?')", (7,))
+        rows = conn.execute("SELECT name FROM movies WHERE name = 'Who? Me?'").fetchall()
+        assert rows == [("Who? Me?",)]
+
+    def test_too_few_parameters(self, conn):
+        with pytest.raises(ParameterBindingError, match="2 parameters, 1 given"):
+            conn.execute("SELECT * FROM movies WHERE movie_id = ? AND year = ?", (1,))
+
+    def test_too_many_parameters(self, conn):
+        with pytest.raises(ParameterBindingError, match="1 parameter, 2 given"):
+            conn.execute("SELECT * FROM movies WHERE movie_id = ?", (1, 2))
+
+    def test_parameters_without_placeholders(self, conn):
+        with pytest.raises(ParameterBindingError):
+            conn.execute("SELECT * FROM movies", (1,))
+
+    def test_string_parameters_rejected(self, conn):
+        with pytest.raises(TypeError):
+            conn.execute("SELECT * FROM movies WHERE name = ?", "Rocky")
+
+    def test_none_binds_as_null(self, conn):
+        conn.execute("UPDATE movies SET rating = ? WHERE movie_id = ?", (None, 1))
+        assert conn.execute(
+            "SELECT count(*) FROM movies WHERE rating IS NULL"
+        ).fetchone() == (1,)
+
+    def test_parameterized_point_lookup_uses_index(self, conn):
+        plan = conn.explain("SELECT name FROM movies WHERE movie_id = ?")
+        assert "IndexLookup" in plan
+
+    def test_parameters_in_delete(self, conn):
+        assert conn.execute("DELETE FROM movies WHERE year < ?", (1960,)).rowcount == 1
+
+
+class TestExecutemany:
+    def test_batch_insert(self, conn):
+        cursor = conn.executemany(
+            "INSERT INTO movies (movie_id, name) VALUES (?, ?)",
+            [(10, "Alien"), (11, "Brazil"), (12, "Clue")],
+        )
+        assert cursor.rowcount == 3
+        assert conn.execute("SELECT count(*) FROM movies").fetchone() == (8,)
+
+    def test_batch_update(self, conn):
+        cursor = conn.executemany(
+            "UPDATE movies SET rating = ? WHERE movie_id = ?",
+            [(1.0, 1), (2.0, 2)],
+        )
+        assert cursor.rowcount == 2
+
+    def test_empty_parameter_sequence(self, conn):
+        assert conn.executemany("INSERT INTO movies (movie_id, name) VALUES (?, ?)", []).rowcount == 0
+
+    def test_select_is_rejected(self, conn):
+        with pytest.raises(ExecutionError, match="executemany"):
+            conn.executemany("SELECT * FROM movies WHERE movie_id = ?", [(1,)])
+
+    def test_statement_prepared_once(self, conn):
+        before = conn.cache_stats()
+        conn.executemany(
+            "INSERT INTO movies (movie_id, name) VALUES (?, ?)",
+            [(20 + i, f"m{i}") for i in range(10)],
+        )
+        after = conn.cache_stats()
+        # One prepare for the whole batch: a single miss, no per-tuple lookups.
+        assert after.misses == before.misses + 1
+        assert after.hits == before.hits
+
+
+class TestStatementCache:
+    def test_repeated_query_hits_cache(self, conn):
+        sql = "SELECT name FROM movies WHERE movie_id = ?"
+        for movie_id in (1, 2, 3):
+            conn.execute(sql, (movie_id,))
+        stats = conn.cache_stats()
+        assert stats.hits >= 2
+        assert sql in conn.statement_cache
+
+    def test_distinct_sql_misses(self, conn):
+        before = conn.cache_stats().misses
+        conn.execute("SELECT name FROM movies WHERE movie_id = 1")
+        conn.execute("SELECT name  FROM movies WHERE movie_id = 1")  # different text
+        assert conn.cache_stats().misses == before + 2
+
+    def test_ddl_invalidates_cached_plan(self, conn):
+        sql = "SELECT * FROM movies WHERE movie_id = ?"
+        first = conn.execute(sql, (1,))
+        assert len(first.result.columns) == 4
+        conn.execute("ALTER TABLE movies ADD COLUMN country TEXT")
+        second = conn.execute(sql, (1,))
+        assert len(second.result.columns) == 5
+        assert second.result.columns[-1] == "country"
+
+    def test_create_index_invalidates_cached_plan(self, conn):
+        sql = "SELECT name FROM movies WHERE year = ?"
+        conn.execute(sql, (1976,))
+        assert "SeqScan" in conn.explain(sql)
+        conn.execute("CREATE INDEX ON movies (year)")
+        assert "IndexLookup" in conn.explain(sql)
+        assert conn.execute(sql, (1976,)).fetchall() == [("Rocky",)]
+
+    def test_lru_eviction(self):
+        connection = connect(statement_cache_size=2)
+        connection.execute("CREATE TABLE t (a INTEGER)")
+        connection.execute("SELECT a FROM t")
+        connection.execute("SELECT a + 1 FROM t")
+        connection.execute("SELECT a + 2 FROM t")
+        stats = connection.cache_stats()
+        assert stats.size == 2
+        assert stats.evictions >= 1
+
+    def test_cache_disabled(self):
+        connection = connect(statement_cache_size=0)
+        connection.execute("CREATE TABLE t (a INTEGER)")
+        connection.execute("SELECT a FROM t")
+        connection.execute("SELECT a FROM t")
+        stats = connection.cache_stats()
+        assert stats.hits == 0
+        assert stats.size == 0
+
+    def test_hit_rate(self, conn):
+        conn.execute("SELECT 1")
+        conn.execute("SELECT 1")
+        stats = conn.cache_stats()
+        assert 0.0 < stats.hit_rate < 1.0
+
+
+class TestConnectionLifecycle:
+    def test_context_manager_closes(self):
+        with connect() as connection:
+            connection.execute("CREATE TABLE t (a INTEGER)")
+        assert connection.closed
+        with pytest.raises(ExecutionError):
+            connection.execute("SELECT 1")
+
+    def test_cursor_after_close_raises(self):
+        connection = connect()
+        connection.close()
+        with pytest.raises(ExecutionError):
+            connection.cursor()
+
+    def test_commit_is_noop_and_rollback_unsupported(self, conn):
+        conn.commit()
+        with pytest.raises(ExecutionError):
+            conn.rollback()
+
+    def test_statement_log_is_bounded(self):
+        connection = connect(statement_log_size=3)
+        connection.execute("CREATE TABLE t (a INTEGER)")
+        for i in range(5):
+            connection.execute("INSERT INTO t VALUES (?)", (i,))
+        assert len(connection.statement_log) == 3
+        assert all(sql == "INSERT INTO t VALUES (?)" for sql in connection.statement_log)
+
+    def test_executemany_logs_sql_once_per_batch(self):
+        connection = connect()
+        connection.execute("CREATE TABLE t (a INTEGER)")
+        connection.executemany("INSERT INTO t VALUES (?)", [(i,) for i in range(50)])
+        assert list(connection.statement_log).count("INSERT INTO t VALUES (?)") == 1
+
+    def test_execute_script_logs_individual_statements(self):
+        connection = connect()
+        connection.execute_script(
+            "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); SELECT a FROM t"
+        )
+        assert connection.statement_log == (
+            "CREATE TABLE t (a INTEGER)",
+            "INSERT INTO t VALUES (1)",
+            "SELECT a FROM t",
+        )
+
+
+class TestSessionScopedCrowdContext:
+    def _shared_catalog(self) -> Catalog:
+        catalog = Catalog()
+        setup = Connection(catalog)
+        setup.execute("CREATE TABLE items (item_id INTEGER PRIMARY KEY, score REAL)")
+        setup.executemany(
+            "INSERT INTO items (item_id, score) VALUES (?, ?)",
+            [(i, None) for i in range(1, 6)],
+        )
+        setup.table("items").fill_values("score", {rowid: MISSING for rowid in range(1, 6)})
+        return catalog
+
+    def test_two_connections_with_different_resolvers(self):
+        catalog = self._shared_catalog()
+
+        def resolver_for(value):
+            def resolver(ref, row):
+                return value
+
+            return resolver
+
+        low = Connection(catalog, session=SessionContext(missing_resolver=resolver_for(0.1)))
+        high = Connection(catalog, session=SessionContext(missing_resolver=resolver_for(0.9)))
+        query = "SELECT count(*) FROM items WHERE score > ?"
+        assert low.execute(query, (0.5,)).fetchone() == (0,)
+        assert high.execute(query, (0.5,)).fetchone() == (5,)
+
+    def test_concurrent_connections_do_not_clobber_each_other(self):
+        catalog = self._shared_catalog()
+        failures: list[str] = []
+
+        def run(value, expected):
+            session = SessionContext(missing_resolver=lambda ref, row: value)
+            connection = Connection(catalog, session=session)
+            for _ in range(50):
+                (count,) = connection.execute(
+                    "SELECT count(*) FROM items WHERE score > ?", (0.5,)
+                ).fetchone()
+                if count != expected:
+                    failures.append(f"resolver {value} saw count {count}")
+                    return
+
+        threads = [
+            threading.Thread(target=run, args=(0.1, 0)),
+            threading.Thread(target=run, args=(0.9, 5)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+
+    def test_concurrent_reader_and_writer_on_shared_catalog(self):
+        catalog = self._shared_catalog()
+        errors: list[Exception] = []
+
+        def reader():
+            connection = Connection(catalog)
+            try:
+                for _ in range(300):
+                    connection.column_values("items", "score")
+                    connection.missing_count("items", "score")
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        def writer():
+            connection = Connection(catalog)
+            try:
+                for i in range(300):
+                    connection.execute(
+                        "INSERT INTO items (item_id, score) VALUES (?, ?)", (100 + i, 0.5)
+                    )
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader), threading.Thread(target=writer)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_slow_missing_resolver_does_not_block_other_connections(self):
+        import time
+
+        catalog = self._shared_catalog()
+
+        def slow_resolver(ref, row):
+            time.sleep(0.4)  # crowd-sourcing one MISSING cell
+            return 1.0
+
+        resolving = Connection(catalog, session=SessionContext(missing_resolver=slow_resolver))
+        probing = Connection(catalog)
+        latencies: list[float] = []
+
+        def probe():
+            time.sleep(0.2)  # land inside the resolver's crowd time
+            for _ in range(3):
+                start = time.perf_counter()
+                probing.execute("SELECT count(*) FROM items").fetchone()
+                latencies.append(time.perf_counter() - start)
+                time.sleep(0.05)
+
+        threads = [
+            threading.Thread(
+                target=lambda: resolving.execute(
+                    "SELECT count(*) FROM items WHERE score > ?", (0.5,)
+                )
+            ),
+            threading.Thread(target=probe),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Evaluation (where the resolver runs) happens on row copies outside
+        # the catalog lock, so the probing connection must stay fast.
+        assert latencies and max(latencies) < 0.25
+
+    def test_slow_expansion_does_not_block_other_connections(self):
+        import time
+
+        catalog = Catalog()
+        expanding = Connection(catalog)
+        probing = Connection(catalog)
+        expanding.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        expanding.execute("INSERT INTO t (id) VALUES (1)")
+
+        def slow_handler(table, column):
+            time.sleep(0.5)  # stands in for minutes of crowd-sourcing
+            expanding.add_perceptual_column(table, column, ColumnType.BOOLEAN)
+            storage = expanding.table(table)
+            storage.fill_values(column, {r: True for r in storage.rowids()})
+            return True
+
+        expanding.set_expansion_handler(slow_handler)
+        latencies: list[float] = []
+
+        def probe():
+            time.sleep(0.1)  # let the expansion start first
+            for _ in range(3):
+                start = time.perf_counter()
+                probing.execute("SELECT count(*) FROM t").fetchone()
+                latencies.append(time.perf_counter() - start)
+                time.sleep(0.05)
+
+        threads = [
+            threading.Thread(
+                target=lambda: expanding.execute("SELECT id FROM t WHERE slow = ?", (True,))
+            ),
+            threading.Thread(target=probe),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # The handler runs outside the catalog lock, so the probing
+        # connection's queries must not wait out the 0.5 s expansion.
+        assert latencies and max(latencies) < 0.25
+
+    def test_session_scoped_expansion_with_parameters(self):
+        connection = connect()
+        connection.execute("CREATE TABLE movies (movie_id INTEGER PRIMARY KEY, name TEXT)")
+        connection.executemany(
+            "INSERT INTO movies (movie_id, name) VALUES (?, ?)",
+            [(1, "Rocky"), (2, "Psycho")],
+        )
+
+        calls = []
+
+        def handler(table, column):
+            calls.append((table, column))
+            connection.add_perceptual_column(table, column, ColumnType.BOOLEAN)
+            storage = connection.table(table)
+            storage.fill_values(column, {rowid: rowid == 1 for rowid in storage.rowids()})
+            return True
+
+        connection.set_expansion_handler(handler)
+        rows = connection.execute(
+            "SELECT name FROM movies WHERE is_comedy = ? AND movie_id = ?", (True, 1)
+        ).fetchall()
+        assert rows == [("Rocky",)]
+        assert calls == [("movies", "is_comedy")]
+
+    def test_expansion_is_per_session_not_global(self):
+        catalog = Catalog()
+        first = Connection(catalog)
+        second = Connection(catalog)
+        first.execute("CREATE TABLE t (item_id INTEGER PRIMARY KEY)")
+        first.execute("INSERT INTO t (item_id) VALUES (1)")
+
+        def handler(table, column):
+            first.add_perceptual_column(table, column, ColumnType.BOOLEAN)
+            storage = first.table(table)
+            storage.fill_values(column, {rowid: True for rowid in storage.rowids()})
+            return True
+
+        first.set_expansion_handler(handler)
+        # The second connection shares the catalog but has no handler.
+        with pytest.raises(UnknownColumnError):
+            second.execute("SELECT item_id FROM t WHERE missing_attr = ?", (True,))
+        assert first.execute("SELECT item_id FROM t WHERE is_new = ?", (True,)).fetchall() == [(1,)]
+
+    def test_execute_script_triggers_expansion(self):
+        connection = connect()
+        connection.execute("CREATE TABLE movies (movie_id INTEGER PRIMARY KEY, name TEXT)")
+        connection.execute("INSERT INTO movies (movie_id, name) VALUES (1, 'Rocky')")
+
+        def handler(table, column):
+            connection.add_perceptual_column(table, column, ColumnType.BOOLEAN)
+            storage = connection.table(table)
+            storage.fill_values(column, {rowid: True for rowid in storage.rowids()})
+            return True
+
+        connection.set_expansion_handler(handler)
+        results = connection.execute_script(
+            "SELECT name FROM movies WHERE is_comedy = true"
+        )
+        assert results[0].rows == [("Rocky",)]
+
+    def test_budget_exhausted_session(self):
+        session = SessionContext(max_cost=1.0)
+        assert not session.budget_exhausted
+        assert session.remaining_budget == 1.0
+        session.record_cost(0.6)
+        assert session.remaining_budget == pytest.approx(0.4)
+        session.record_cost(0.6)
+        assert session.budget_exhausted
+        assert session.remaining_budget == 0.0
+
+    def test_shim_exposes_session(self):
+        db = CrowdDatabase()
+        assert isinstance(db.session, SessionContext)
+        resolver = lambda ref, row: 1.0  # noqa: E731
+        db.set_missing_resolver(resolver)
+        assert db.session.missing_resolver is resolver

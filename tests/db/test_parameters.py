@@ -1,0 +1,115 @@
+"""Tests for qmark parameter parsing and AST/plan binding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.sql import ast
+from repro.db.sql.parameters import (
+    bind_expression,
+    bind_statement,
+    count_parameters,
+)
+from repro.db.sql.parser import parse_statement
+from repro.errors import ExecutionError, ParameterBindingError, SQLSyntaxError
+
+
+class TestParsing:
+    def test_placeholders_numbered_left_to_right(self):
+        statement = parse_statement(
+            "SELECT ? FROM t WHERE a = ? AND b IN (?, ?) ORDER BY c"
+        )
+        assert count_parameters(statement) == 4
+        assert statement.items[0].expression == ast.Parameter(0)
+
+    def test_placeholders_in_insert_rows(self):
+        statement = parse_statement("INSERT INTO t (a, b) VALUES (?, ?), (?, ?)")
+        assert count_parameters(statement) == 4
+
+    def test_placeholders_in_update(self):
+        statement = parse_statement("UPDATE t SET a = ?, b = ? WHERE c = ?")
+        assert count_parameters(statement) == 3
+
+    def test_placeholders_in_case_and_between(self):
+        statement = parse_statement(
+            "SELECT CASE WHEN a BETWEEN ? AND ? THEN ? ELSE ? END FROM t"
+        )
+        assert count_parameters(statement) == 4
+
+    def test_placeholder_not_allowed_as_limit(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT a FROM t LIMIT ?")
+
+    def test_string_literal_question_mark_is_not_counted(self):
+        statement = parse_statement("SELECT a FROM t WHERE b = 'really?'")
+        assert count_parameters(statement) == 0
+
+    def test_script_statements_number_parameters_independently(self):
+        from repro.db.sql.parser import parse_sql
+
+        first, second = parse_sql(
+            "SELECT a FROM t WHERE b = ?; SELECT a FROM t WHERE c = ?"
+        )
+        assert first.where.right == ast.Parameter(0)
+        assert second.where.right == ast.Parameter(0)
+        assert bind_statement(second, (5,)).where.right == ast.Literal(5)
+
+
+class TestBinding:
+    def test_bind_statement_replaces_parameters(self):
+        statement = parse_statement("SELECT a FROM t WHERE b = ? AND c > ?")
+        bound = bind_statement(statement, ("x", 3))
+        assert count_parameters(bound) == 0
+        comparison = bound.where
+        assert comparison.left.right == ast.Literal("x")
+        assert comparison.right.right == ast.Literal(3)
+
+    def test_bind_statement_checks_arity(self):
+        statement = parse_statement("SELECT a FROM t WHERE b = ?")
+        with pytest.raises(ParameterBindingError):
+            bind_statement(statement, ())
+        with pytest.raises(ParameterBindingError):
+            bind_statement(statement, (1, 2))
+
+    def test_bind_statement_without_parameters_is_identity(self):
+        statement = parse_statement("SELECT a FROM t")
+        assert bind_statement(statement, ()) is statement
+
+    def test_bind_expression_covers_compound_nodes(self):
+        statement = parse_statement(
+            "SELECT coalesce(a, ?) FROM t "
+            "WHERE (a IS NULL OR NOT b = ?) AND c NOT IN (?) AND d LIKE ?"
+        )
+        bound = bind_statement(statement, (0, 1, 2, "x%"))
+        assert count_parameters(bound) == 0
+
+    def test_bind_expression_out_of_range_raises(self):
+        with pytest.raises(ParameterBindingError):
+            bind_expression(ast.Parameter(5), (1, 2))
+
+    def test_unbound_parameter_fails_at_evaluation(self):
+        from repro.db.sql.expressions import RowContext, evaluate
+
+        with pytest.raises(ExecutionError, match="unbound parameter"):
+            evaluate(ast.Parameter(0), RowContext())
+
+    def test_distinct_parameters_never_compare_equal_in_group_by(self):
+        from repro.db import connect
+        from repro.errors import PlanningError
+
+        conn = connect()
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("INSERT INTO t VALUES (1)")
+        # a + ?1 in the SELECT list is not the GROUP BY key a + ?2; with a
+        # position-blind label both would render "a + ?" and validation
+        # would silently pass with wrong results.
+        with pytest.raises(PlanningError):
+            conn.execute("SELECT a + ?, count(*) FROM t GROUP BY a + ?", (1, 100))
+
+    def test_template_statement_is_reusable(self):
+        statement = parse_statement("SELECT a FROM t WHERE b = ?")
+        first = bind_statement(statement, (1,))
+        second = bind_statement(statement, (2,))
+        assert first.where.right == ast.Literal(1)
+        assert second.where.right == ast.Literal(2)
+        assert statement.where.right == ast.Parameter(0)

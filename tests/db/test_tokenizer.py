@@ -78,8 +78,17 @@ class TestBasicTokens:
 
     def test_unexpected_character(self):
         with pytest.raises(SQLSyntaxError) as error:
-            tokenize("SELECT ?")
+            tokenize("SELECT @")
         assert error.value.position is not None
+
+    def test_parameter_placeholder(self):
+        tokens = token_values("SELECT a FROM t WHERE b = ?")
+        assert (TokenType.PARAMETER, "?") in tokens
+
+    def test_question_mark_inside_string_literal_is_not_a_parameter(self):
+        tokens = tokenize("SELECT 'who?'")
+        assert [t.type for t in tokens[:2]] == [TokenType.KEYWORD, TokenType.STRING]
+        assert tokens[1].value == "who?"
 
     def test_eof_token_is_last(self):
         tokens = tokenize("SELECT 1")
