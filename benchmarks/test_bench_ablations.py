@@ -120,6 +120,85 @@ def test_ablation_extractor_training_cost(benchmark, movie_context, report_write
     )
 
 
+def test_ablation_operator_algebra(report_writer):
+    """Physical-operator ablations: the equi-join hash path vs. the
+    nested-loop baseline, and LIMIT early termination via scan counters."""
+    from repro.db.sql.operators import SeqScan
+
+    n_left, n_right = 300, 300
+    catalog = Catalog()
+    setup = Connection(catalog)
+    setup.execute("CREATE TABLE l (id INTEGER PRIMARY KEY, k INTEGER, payload TEXT)")
+    setup.execute("CREATE TABLE r (id INTEGER PRIMARY KEY, k INTEGER, payload TEXT)")
+    setup.executemany(
+        "INSERT INTO l (id, k, payload) VALUES (?, ?, ?)",
+        [(i, i % 100, f"left-{i}") for i in range(1, n_left + 1)],
+    )
+    setup.executemany(
+        "INSERT INTO r (id, k, payload) VALUES (?, ?, ?)",
+        [(i, i % 100, f"right-{i}") for i in range(1, n_right + 1)],
+    )
+    join_sql = "SELECT count(*) FROM l JOIN r ON l.k = r.k"
+
+    def timed(connection: Connection, repeats: int = 3) -> tuple[float, int]:
+        best = float("inf")
+        rows = 0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            (rows,) = connection.execute(join_sql).fetchone()
+            best = min(best, time.perf_counter() - start)
+        return best, rows
+
+    hash_time, hash_rows = timed(Connection(catalog))
+    nl_time, nl_rows = timed(Connection(catalog, hash_joins=False))
+    assert hash_rows == nl_rows == n_left * (n_right // 100)
+    join_speedup = nl_time / hash_time
+    assert join_speedup >= 1.3, (
+        f"hash join should beat nested loop by >=1.3x on the synthetic "
+        f"equi-join workload, got {join_speedup:.2f}x"
+    )
+
+    # -- LIMIT early termination: the scan counter proves laziness -------------
+    n_big = 5000
+    setup.execute("CREATE TABLE big (id INTEGER PRIMARY KEY, v INTEGER)")
+    setup.executemany(
+        "INSERT INTO big (id, v) VALUES (?, ?)", [(i, i) for i in range(1, n_big + 1)]
+    )
+    conn = Connection(catalog)
+
+    limited = conn.execute("SELECT v FROM big LIMIT 10")
+    assert len(limited.fetchall()) == 10
+    limited_scanned = next(
+        op for op in limited.plan.walk() if isinstance(op, SeqScan)
+    ).rows_scanned
+
+    full = conn.execute("SELECT v FROM big")
+    full.fetchall()
+    full_scanned = next(op for op in full.plan.walk() if isinstance(op, SeqScan)).rows_scanned
+
+    assert limited_scanned == 10, (
+        f"LIMIT 10 must not materialize the table: scanned {limited_scanned} "
+        f"of {n_big} rows"
+    )
+    assert full_scanned == n_big
+
+    report_writer(
+        "ablation_operator_algebra",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("join workload (rows x rows)", f"{n_left} x {n_right}"),
+                ("hash join best time", f"{hash_time * 1000:.2f} ms"),
+                ("nested loop best time", f"{nl_time * 1000:.2f} ms"),
+                ("hash-join speedup", f"{join_speedup:.1f}x"),
+                ("rows scanned for LIMIT 10", f"{limited_scanned} / {n_big}"),
+                ("rows scanned for full scan", f"{full_scanned} / {n_big}"),
+            ],
+            title="Ablation: physical operator algebra",
+        ),
+    )
+
+
 def test_ablation_sql_engine_throughput(benchmark, movie_context, report_writer):
     """Query latency of the crowd database on the workload's query shapes,
     plus the effect of the connection's prepared-statement cache on a

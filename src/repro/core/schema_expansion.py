@@ -308,6 +308,9 @@ class ExpansionPipeline:
         self._ledger: ExpansionLedger | None = None
         self._budget: float | None = None
         self._budget_set = False
+        self._value_source: object | None = None
+        self._value_source_set = False
+        self._crowd_batch_size: int | None = None
 
     def with_policy(self, policy: ExpansionPolicy) -> "ExpansionPipeline":
         """Use *policy* to obtain values for expanded attributes."""
@@ -355,12 +358,35 @@ class ExpansionPipeline:
         self._budget_set = True
         return self
 
+    def with_value_source(
+        self, source: object, *, batch_size: int | None = None
+    ) -> "ExpansionPipeline":
+        """Install a batch ValueSource for query-time ``CrowdFill`` batching.
+
+        Once attached, queries touching crowd-sourced columns with MISSING
+        values dispatch them to *source* in coalesced batches (one platform
+        call per attribute per ``batch_size`` missing rows) instead of
+        resolving row by row.
+        """
+        if getattr(self._database, "session", None) is None:
+            raise ExpansionError("with_value_source requires a connection with a session")
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError(f"crowd batch_size must be positive, got {batch_size}")
+        self._value_source = source
+        self._value_source_set = True
+        self._crowd_batch_size = batch_size
+        return self
+
     def build(self) -> SchemaExpander:
         """Construct the :class:`SchemaExpander` without attaching it."""
         if self._policy is None:
             raise ExpansionError("ExpansionPipeline needs a policy; call with_policy(...)")
         if self._budget_set:
             self._database.session.max_cost = self._budget
+        if self._value_source_set:
+            self._database.session.value_source = self._value_source
+            if self._crowd_batch_size is not None:
+                self._database.session.crowd_batch_size = self._crowd_batch_size
         return SchemaExpander(
             self._database,
             self._policy,

@@ -18,6 +18,7 @@ from repro.crowd.quality_control import (
     QualityControl,
     TrustedWorkerPolicy,
 )
+from repro.crowd.sources import SimulatedCrowdValueSource
 from repro.crowd.worker import (
     WorkerArchetype,
     WorkerPool,
@@ -40,6 +41,7 @@ __all__ = [
     "MajorityVote",
     "QualityControl",
     "Question",
+    "SimulatedCrowdValueSource",
     "SpendingLedger",
     "TrustedWorkerPolicy",
     "VoteOutcome",

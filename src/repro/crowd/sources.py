@@ -1,0 +1,125 @@
+"""Batched value sources bridging the crowd platform to the query engine.
+
+The query engine's ``CrowdFill`` operator acquires MISSING attribute values
+through the narrow :class:`~repro.db.crowd_operators.ValueSource` protocol:
+one ``request_values(attribute, items)`` call per coalesced batch.  This
+module provides the production-shaped implementation of that protocol on
+top of the simulated crowd platform: every batch becomes exactly one
+:class:`~repro.crowd.hit.HITGroup` dispatched to a
+:class:`~repro.crowd.platform.CrowdPlatform`, with the answers aggregated
+by majority vote.  Set-oriented acquisition — one HIT group per batch per
+attribute instead of one crowd round-trip per row — is what makes crowd
+latency and cost tractable at query time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.crowd.hit import HITGroup, Question, make_task_items
+from repro.crowd.platform import CrowdPlatform, CrowdRunResult
+from repro.crowd.quality_control import QualityControl
+from repro.crowd.worker import WorkerPool
+from repro.db.types import is_missing
+
+__all__ = ["SimulatedCrowdValueSource"]
+
+
+class SimulatedCrowdValueSource:
+    """A batch ValueSource that dispatches one HIT group per request.
+
+    Parameters
+    ----------
+    platform:
+        The (simulated) crowd platform to dispatch HIT groups on.
+    pool:
+        Worker pool answering the HITs.
+    truth:
+        ``attribute -> {item_id: bool}`` ground truth driving the simulated
+        workers (a live platform would not have this).
+    key_column:
+        Row column mapping database rows to platform item ids.
+    judgments_per_item, items_per_hit, payment_per_hit:
+        HIT group shape; forwarded to :class:`~repro.crowd.hit.HITGroup`.
+    quality_control:
+        Optional quality-control policy applied to every dispatch.
+
+    Statistics
+    ----------
+    ``dispatches`` counts platform calls (one per CrowdFill batch per
+    attribute — the quantity the batching contract bounds), ``total_cost``
+    and ``total_judgments`` accumulate over all dispatches, and ``runs``
+    keeps every :class:`~repro.crowd.platform.CrowdRunResult` for
+    inspection.
+    """
+
+    def __init__(
+        self,
+        platform: CrowdPlatform,
+        pool: WorkerPool,
+        *,
+        truth: Mapping[str, Mapping[int, bool]],
+        key_column: str = "item_id",
+        judgments_per_item: int = 3,
+        items_per_hit: int = 10,
+        payment_per_hit: float = 0.02,
+        quality_control: QualityControl | None = None,
+        prompt: str = "",
+    ) -> None:
+        self._platform = platform
+        self._pool = pool
+        self._truth = {attr: dict(values) for attr, values in truth.items()}
+        self.key_column = key_column
+        self.judgments_per_item = judgments_per_item
+        self.items_per_hit = items_per_hit
+        self.payment_per_hit = payment_per_hit
+        self._quality_control = quality_control
+        self._prompt = prompt
+        self.dispatches = 0
+        self.total_cost = 0.0
+        self.total_judgments = 0
+        self.runs: list[CrowdRunResult] = []
+
+    def request_values(
+        self, attribute: str, items: Sequence[tuple[int, dict[str, Any]]]
+    ) -> dict[int, Any]:
+        """Answer one batch: dispatch a single HIT group for *attribute*.
+
+        Rows whose *key_column* is NULL/MISSING cannot be mapped to a
+        platform item and stay unanswered; items without a clear majority
+        are likewise omitted, leaving their cells MISSING.
+        """
+        rowid_to_item: dict[int, int] = {}
+        for rowid, row in items:
+            key = row.get(self.key_column)
+            if key is None or is_missing(key):
+                continue
+            rowid_to_item[rowid] = int(key)
+        if not rowid_to_item:
+            return {}
+
+        item_ids = sorted(set(rowid_to_item.values()))
+        group = HITGroup(
+            question=Question(attribute=attribute, prompt=self._prompt),
+            items=make_task_items(item_ids),
+            judgments_per_item=self.judgments_per_item,
+            items_per_hit=self.items_per_hit,
+            payment_per_hit=self.payment_per_hit,
+        )
+        result = self._platform.run_group(
+            group,
+            self._pool,
+            quality_control=self._quality_control,
+            truth=self._truth.get(attribute, {}),
+        )
+        self.dispatches += 1
+        self.total_cost += result.total_cost
+        self.total_judgments += len(result.judgments)
+        self.runs.append(result)
+
+        labels = result.majority_labels()
+        return {
+            rowid: labels[item_id]
+            for rowid, item_id in rowid_to_item.items()
+            if item_id in labels
+        }

@@ -22,9 +22,11 @@ from repro.db.connection import (
     StatementCache,
     connect,
 )
+from repro.db.crowd_operators import ValueSource
 from repro.db.database import CrowdDatabase
 from repro.db.schema import AttributeKind, Column, ColumnType, TableSchema
-from repro.db.sql.executor import QueryResult
+from repro.db.sql.executor import QueryResult, SelectStream
+from repro.db.sql.operators import CrowdFillSpec, Operator
 from repro.db.storage import Row, TableStorage
 from repro.db.types import MISSING, Missing, coerce_value, is_missing
 
@@ -36,16 +38,20 @@ __all__ = [
     "ColumnType",
     "Connection",
     "CrowdDatabase",
+    "CrowdFillSpec",
     "Cursor",
     "ExpansionHandler",
     "MISSING",
     "Missing",
+    "Operator",
     "QueryResult",
     "Row",
+    "SelectStream",
     "SessionContext",
     "StatementCache",
     "TableSchema",
     "TableStorage",
+    "ValueSource",
     "coerce_value",
     "connect",
     "is_missing",

@@ -35,8 +35,9 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 from repro.db.catalog import Catalog
 from repro.db.schema import AttributeKind, Column, TableSchema
 from repro.db.sql import ast
-from repro.db.sql.executor import Executor, QueryResult
+from repro.db.sql.executor import Executor, QueryResult, SelectStream
 from repro.db.sql.expressions import MissingResolver
+from repro.db.sql.operators import CrowdFillSpec, Operator
 from repro.db.sql.parameters import bind_select_plan, bind_statement, check_arity, count_parameters
 from repro.db.sql.parser import parse_script, parse_statement
 from repro.db.sql.planner import Planner, SelectPlan
@@ -65,6 +66,13 @@ def _normalize_params(params: Sequence[Any]) -> tuple[Any, ...]:
     return tuple(params)
 
 
+def _validate_batch_size(batch_size: int) -> int:
+    """Reject non-positive crowd batch sizes at configuration time."""
+    if batch_size <= 0:
+        raise ValueError(f"crowd batch_size must be positive, got {batch_size}")
+    return batch_size
+
+
 # ---------------------------------------------------------------------------
 # Session context
 # ---------------------------------------------------------------------------
@@ -91,6 +99,18 @@ class SessionContext:
     max_cost:
         Optional budget in dollars.  Once ``cost_spent`` reaches it the
         session refuses further crowd-backed schema expansions.
+    value_source:
+        Optional batch :class:`~repro.db.crowd_operators.ValueSource`.
+        When set, queries referencing crowd-sourced (perceptual) columns
+        get a ``CrowdFill`` operator in their physical plan that acquires
+        MISSING values in coalesced batches of ``crowd_batch_size`` rows —
+        one platform call per attribute per batch instead of one
+        ``missing_resolver`` call per row.
+    crowd_batch_size:
+        Number of missing rows coalesced into one batch dispatch.
+    crowd_write_back:
+        Whether batch-obtained values are persisted to storage so later
+        queries need no further crowd work (default True).
     """
 
     def __init__(
@@ -100,12 +120,34 @@ class SessionContext:
         expansion_handler: ExpansionHandler | None = None,
         ledger: "ExpansionLedger | None" = None,
         max_cost: float | None = None,
+        value_source: Any = None,
+        crowd_batch_size: int = 50,
+        crowd_write_back: bool = True,
     ) -> None:
         self.missing_resolver = missing_resolver
         self.expansion_handler = expansion_handler
         self._ledger = ledger
         self.max_cost = max_cost
         self.cost_spent = 0.0
+        self.value_source = value_source
+        self.crowd_batch_size = _validate_batch_size(crowd_batch_size)
+        self.crowd_write_back = crowd_write_back
+
+    def crowd_spec(self) -> CrowdFillSpec | None:
+        """The batch crowd-fill configuration, or None when not set up.
+
+        The session itself rides along as the budget hook: batch crowd
+        spending is charged to ``cost_spent`` (for cost-aware sources) and
+        stops once ``budget_exhausted``.
+        """
+        if self.value_source is None:
+            return None
+        return CrowdFillSpec(
+            source=self.value_source,
+            batch_size=self.crowd_batch_size,
+            write_back=self.crowd_write_back,
+            session=self,
+        )
 
     @property
     def ledger(self) -> "ExpansionLedger":
@@ -255,12 +297,22 @@ class StatementCache:
 
 
 class Cursor:
-    """DB-API-2.0-style cursor bound to one :class:`Connection`."""
+    """DB-API-2.0-style cursor bound to one :class:`Connection`.
+
+    SELECT statements *stream*: ``execute`` plans the query and opens the
+    physical operator tree, but rows are pulled from it only as
+    ``fetchone`` / ``fetchmany`` / iteration ask for them.  A ``LIMIT k``
+    query therefore stops scanning after *k* rows, and closing the cursor
+    mid-stream abandons the rest of the plan without running it.
+    Whole-result accessors (:attr:`rowcount`, :attr:`result`, ``fetchall``)
+    drain the remaining stream on demand.
+    """
 
     def __init__(self, connection: "Connection") -> None:
         self._connection: Connection | None = connection
         self.arraysize = 1
         self._result: QueryResult | None = None
+        self._stream: SelectStream | None = None
         self._position = 0
 
     # -- execution ---------------------------------------------------------------
@@ -270,9 +322,12 @@ class Cursor:
         connection = self._require_connection()
         # Drop the previous result first so a failed execute can never be
         # followed by fetches of stale rows.
-        self._result = None
-        self._position = 0
-        self._result = connection.run_statement(sql, params)
+        self._discard()
+        outcome = connection.run_statement(sql, params, stream=True)
+        if isinstance(outcome, SelectStream):
+            self._stream = outcome
+        else:
+            self._result = outcome
         return self
 
     def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
@@ -283,8 +338,7 @@ class Cursor:
         standard DB-API behaviour.
         """
         connection = self._require_connection()
-        self._result = None
-        self._position = 0
+        self._discard()
         total = connection._run_many(sql, seq_of_params)
         self._result = QueryResult(columns=[], rows=[], rowcount=total)
         return self
@@ -293,25 +347,57 @@ class Cursor:
 
     @property
     def result(self) -> QueryResult | None:
-        """The full :class:`QueryResult` of the last ``execute`` call."""
+        """The full :class:`QueryResult` of the last ``execute`` call.
+
+        For streaming SELECTs this drains the remaining stream (fetch
+        positions are preserved, so interleaving with ``fetchone`` is safe).
+        """
+        if self._stream is not None:
+            return self._stream.materialize()
         return self._result
+
+    @property
+    def plan(self) -> Operator | None:
+        """Root of the live physical operator tree of a streaming SELECT.
+
+        Exposes per-operator runtime counters (``rows_out``, scan and
+        crowd-batch statistics) for tests, benchmarks and diagnostics.
+        """
+        if self._stream is None:
+            return None
+        return self._stream.root
+
+    def explain(self) -> str | None:
+        """Physical plan of the last SELECT with current runtime counters."""
+        if self._stream is None:
+            return None
+        return self._stream.describe(include_stats=True)
 
     @property
     def description(self) -> list[tuple[Any, ...]] | None:
         """DB-API column descriptions (7-tuples) of the last result."""
-        if self._result is None or not self._result.columns:
+        columns = (
+            self._stream.columns
+            if self._stream is not None
+            else (self._result.columns if self._result is not None else None)
+        )
+        if not columns:
             return None
-        return [(name, None, None, None, None, None, None) for name in self._result.columns]
+        return [(name, None, None, None, None, None, None) for name in columns]
 
     @property
     def rowcount(self) -> int:
         """Rows returned (SELECT) or affected (DML) by the last statement."""
+        if self._stream is not None:
+            return self._stream.rowcount
         if self._result is None:
             return -1
         return self._result.rowcount
 
     def fetchone(self) -> tuple[Any, ...] | None:
         """Return the next result row, or None when exhausted."""
+        if self._stream is not None:
+            return self._stream.fetchone()
         rows = self._rows()
         if self._position >= len(rows):
             return None
@@ -323,6 +409,8 @@ class Cursor:
         """Return up to *size* rows (default: ``cursor.arraysize``)."""
         if size is None:
             size = self.arraysize
+        if self._stream is not None:
+            return self._stream.fetchmany(size)
         rows = self._rows()
         chunk = rows[self._position : self._position + size]
         self._position += len(chunk)
@@ -330,6 +418,8 @@ class Cursor:
 
     def fetchall(self) -> list[tuple[Any, ...]]:
         """Return all remaining result rows."""
+        if self._stream is not None:
+            return self._stream.fetchall()
         rows = self._rows()
         chunk = rows[self._position :]
         self._position = len(rows)
@@ -347,9 +437,9 @@ class Cursor:
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Detach the cursor from its connection."""
+        """Detach the cursor, abandoning any partially fetched stream."""
+        self._discard()
         self._connection = None
-        self._result = None
 
     def __enter__(self) -> "Cursor":
         return self
@@ -358,6 +448,13 @@ class Cursor:
         self.close()
 
     # -- helpers ----------------------------------------------------------------
+
+    def _discard(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+        self._stream = None
+        self._result = None
+        self._position = 0
 
     def _require_connection(self) -> "Connection":
         if self._connection is None:
@@ -391,6 +488,10 @@ class Connection:
     statement_log_size:
         Number of most recent SQL strings retained in
         :attr:`statement_log` (None keeps an unbounded log).
+    hash_joins:
+        Enable the hash-join fast path for qualified equi-joins (default
+        True; the ablation benchmark disables it to measure the
+        nested-loop baseline).
     """
 
     def __init__(
@@ -400,10 +501,11 @@ class Connection:
         session: SessionContext | None = None,
         statement_cache_size: int = 128,
         statement_log_size: int | None = 1000,
+        hash_joins: bool = True,
     ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.session = session if session is not None else SessionContext()
-        self._executor = Executor(self.catalog)
+        self._executor = Executor(self.catalog, hash_joins=hash_joins)
         self._planner = Planner(self.catalog)
         self._cache = StatementCache(statement_cache_size)
         self._lock = threading.RLock()
@@ -469,6 +571,19 @@ class Connection:
         """Install the session's handler for unknown-column expansion."""
         self.session.expansion_handler = handler
 
+    def set_value_source(
+        self, source: Any, *, batch_size: int | None = None
+    ) -> None:
+        """Install a batch ValueSource for coalesced crowd acquisition.
+
+        Queries referencing crowd-sourced (perceptual) columns then carry a
+        ``CrowdFill(batch_size=…)`` operator in their physical plan that
+        dispatches MISSING values to *source* one batch per attribute.
+        """
+        self.session.value_source = source
+        if batch_size is not None:
+            self.session.crowd_batch_size = _validate_batch_size(batch_size)
+
     def expansion(self) -> "ExpansionPipeline":
         """Start a fluent :class:`~repro.core.schema_expansion.ExpansionPipeline`.
 
@@ -498,8 +613,16 @@ class Connection:
         *,
         explain: bool = False,
         allow_expansion: bool = True,
-    ) -> QueryResult:
-        """Prepare (or reuse), bind, execute and possibly expand-and-retry."""
+        stream: bool = False,
+    ) -> QueryResult | SelectStream:
+        """Prepare (or reuse), bind, execute and possibly expand-and-retry.
+
+        With ``stream=True`` a SELECT returns a live
+        :class:`~repro.db.sql.executor.SelectStream` instead of a
+        materialized result: planning, parameter binding and the scan
+        snapshots happen here (so schema expansion still triggers
+        eagerly), but rows are produced only as the stream is pulled.
+        """
         self._check_open()
         params = _normalize_params(params)
         with self._lock:
@@ -507,18 +630,20 @@ class Connection:
             prepared = self._prepare(sql)
             check_arity(prepared.parameter_count, params)
             return self._execute_with_expansion(
-                lambda: self._execute_prepared(prepared, params, explain=explain),
+                lambda: self._execute_prepared(
+                    prepared, params, explain=explain, stream=stream
+                ),
                 is_select=prepared.is_select,
                 allow_expansion=allow_expansion,
             )
 
     def _execute_with_expansion(
         self,
-        execute: Callable[[], QueryResult],
+        execute: Callable[[], QueryResult | SelectStream],
         *,
         is_select: bool,
         allow_expansion: bool = True,
-    ) -> QueryResult:
+    ) -> QueryResult | SelectStream:
         """Run *execute*, giving the session's expansion handler one retry.
 
         Crowd work never runs under the catalog lock: the *execute*
@@ -574,15 +699,28 @@ class Connection:
         return total
 
     def _execute_prepared(
-        self, prepared: PreparedStatement, params: tuple[Any, ...], *, explain: bool
-    ) -> QueryResult:
+        self,
+        prepared: PreparedStatement,
+        params: tuple[Any, ...],
+        *,
+        explain: bool,
+        stream: bool = False,
+    ) -> QueryResult | SelectStream:
         if prepared.is_select:
             with self.catalog.lock:
                 plan = prepared.plan_for(self._planner, self.catalog.version)
                 bound_plan = bind_select_plan(plan, params)
+            if stream and not explain:
+                return self._executor.open_select(
+                    bound_plan,
+                    missing_resolver=self.session.missing_resolver,
+                    crowd=self.session.crowd_spec(),
+                    lock=self.catalog.lock,
+                )
             return self._executor.execute_select_plan(
                 bound_plan,
                 missing_resolver=self.session.missing_resolver,
+                crowd=self.session.crowd_spec(),
                 explain=explain,
                 lock=self.catalog.lock,
             )
@@ -594,6 +732,7 @@ class Connection:
         return self._executor.execute(
             statement,
             missing_resolver=self.session.missing_resolver,
+            crowd=self.session.crowd_spec(),
             explain=explain,
             lock=self.catalog.lock,
         )
@@ -608,14 +747,17 @@ class Connection:
         check_arity(count_parameters(statement), params)
         if params:
             statement = bind_statement(statement, params, verify_arity=False)
-        return self._execute_with_expansion(
+        result = self._execute_with_expansion(
             lambda: self._executor.execute(
                 statement,
                 missing_resolver=self.session.missing_resolver,
+                crowd=self.session.crowd_spec(),
                 lock=self.catalog.lock,
             ),
             is_select=isinstance(statement, ast.SelectStatement),
         )
+        assert isinstance(result, QueryResult)  # script path never streams
+        return result
 
     def _prepare(self, sql: str) -> PreparedStatement:
         prepared = self._cache.get(sql)
@@ -633,14 +775,43 @@ class Connection:
 
     # -- introspection and plan inspection ---------------------------------------
 
-    def explain(self, sql: str) -> str:
-        """Return the plan description of a SELECT statement."""
+    def explain(self, sql: str, params: Sequence[Any] = ()) -> str:
+        """Return the *physical* operator tree of a SELECT without running it.
+
+        The rendering shows access paths (``SeqScan`` / ``IndexLookup``),
+        join strategies (``HashJoin`` / ``NestedLoopJoin``), and a
+        ``CrowdFill(batch_size=…)`` operator whenever the query references
+        a crowd-sourced attribute and the session has a batch value source.
+        Unbound ``?`` placeholders render as ``?N``.
+        """
         self._check_open()
         with self._lock, self.catalog.lock:
             prepared = self._prepare(sql)
             if not prepared.is_select:
                 raise ExecutionError("EXPLAIN is only supported for SELECT statements")
-            return prepared.plan_for(self._planner, self.catalog.version).describe()
+            plan = prepared.plan_for(self._planner, self.catalog.version)
+            if params:
+                params = _normalize_params(params)
+                check_arity(prepared.parameter_count, params)
+                plan = bind_select_plan(plan, params)
+            return self._executor.describe_physical_plan(
+                plan,
+                missing_resolver=self.session.missing_resolver,
+                crowd=self.session.crowd_spec(),
+            )
+
+    def explain_analyze(self, sql: str, params: Sequence[Any] = ()) -> str:
+        """Execute a SELECT and return its operator tree with row counts.
+
+        Each line carries the operator's runtime counters — rows produced,
+        hash-build sizes and crowd-batch statistics (batches dispatched,
+        values filled) — the EXPLAIN ANALYZE of the engine.
+        """
+        result = self.run_statement(sql, params, explain=True)
+        assert isinstance(result, QueryResult)
+        if result.plan_description is None:
+            raise ExecutionError("explain_analyze is only supported for SELECT statements")
+        return result.plan_description
 
     @property
     def statement_log(self) -> Sequence[str]:
@@ -718,6 +889,7 @@ def connect(
     session: SessionContext | None = None,
     statement_cache_size: int = 128,
     statement_log_size: int | None = 1000,
+    hash_joins: bool = True,
 ) -> Connection:
     """Open a connection to a new or shared in-memory crowd database.
 
@@ -735,4 +907,5 @@ def connect(
         session=session,
         statement_cache_size=statement_cache_size,
         statement_log_size=statement_log_size,
+        hash_joins=hash_joins,
     )

@@ -1,17 +1,27 @@
 """Plan executor for the crowd-enabled database.
 
-Executes :class:`~repro.db.sql.planner.SelectPlan` objects as well as DDL
-and DML statements directly against the catalog.  A ``missing_resolver``
-hook can be supplied so that values marked MISSING are obtained at query
-time (the crowd-sourcing path of the paper); without a resolver they simply
-behave as unknown values.
+SELECT statements are executed by lowering the logical
+:class:`~repro.db.sql.planner.SelectPlan` into a physical operator tree
+(:mod:`repro.db.sql.operators`) and pulling rows from its root — the
+executor itself is a thin driver.  :meth:`Executor.open_select` returns a
+:class:`SelectStream` that produces rows incrementally (this is what
+streaming cursors consume); :meth:`Executor.execute_select_plan` drains the
+stream into a materialized :class:`QueryResult` for callers that want the
+whole result at once.  DDL and DML statements are executed directly against
+the catalog.
+
+Crowd integration happens at two levels: a per-row ``missing_resolver``
+(the legacy hook consulted when an expression reads a MISSING value) and a
+batch :class:`~repro.db.sql.operators.CrowdFillSpec`, which makes the
+lowering insert a ``CrowdFill`` operator that acquires missing
+crowd-sourced values in coalesced batches.
 """
 
 from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Any, ContextManager, Iterable, Sequence
+from typing import Any, ContextManager, Iterator
 
 from repro.db.catalog import Catalog
 from repro.db.schema import AttributeKind, Column, TableSchema
@@ -22,8 +32,14 @@ from repro.db.sql.expressions import (
     evaluate,
     evaluate_predicate,
 )
-from repro.db.sql.planner import Planner, ScanPlan, SelectPlan
-from repro.db.types import MISSING, ColumnType, is_missing
+from repro.db.sql.operators import (
+    CrowdFillSpec,
+    Operator,
+    _ComparableValue,  # noqa: F401  (re-exported for backwards compatibility)
+    describe_operator_tree,
+)
+from repro.db.sql.planner import Planner, SelectPlan
+from repro.db.types import MISSING, ColumnType
 from repro.errors import ExecutionError, PlanningError
 
 # ---------------------------------------------------------------------------
@@ -70,17 +86,137 @@ class QueryResult:
         return self.rows[0][0]
 
 
+class SelectStream:
+    """Incremental SELECT result: rows pulled lazily from an operator tree.
+
+    Rows are pulled from the root operator on demand (``fetchone`` /
+    ``fetchmany`` / iteration), so LIMIT queries terminate without running
+    the plan to completion and crowd work happens only for rows actually
+    consumed.  Every pulled row is retained internally, which keeps
+    whole-result accessors (:attr:`rowcount`, :meth:`materialize`) exact
+    without re-executing the plan.
+    """
+
+    def __init__(self, plan: SelectPlan, root: Operator) -> None:
+        self.plan = plan
+        self.root = root
+        self.columns = [column.name for column in plan.output]
+        self._pairs = iter(root)
+        self._rows: list[tuple[Any, ...]] = []
+        self._pos = 0
+        self._exhausted = False
+        self._closed = False
+
+    # -- pulling ---------------------------------------------------------------
+
+    def _pull(self) -> bool:
+        """Pull one row from the operator tree; False when exhausted/closed."""
+        if self._exhausted or self._closed:
+            return False
+        try:
+            row, _context = next(self._pairs)
+        except StopIteration:
+            self._exhausted = True
+            return False
+        self._rows.append(row)
+        return True
+
+    def drain(self) -> None:
+        """Run the plan to completion, buffering all remaining rows."""
+        while self._pull():
+            pass
+
+    # -- fetch API -------------------------------------------------------------
+
+    def fetchone(self) -> tuple[Any, ...] | None:
+        """Return the next row, pulling from the plan only when needed."""
+        if self._pos < len(self._rows) or self._pull():
+            row = self._rows[self._pos]
+            self._pos += 1
+            return row
+        return None
+
+    def fetchmany(self, size: int) -> list[tuple[Any, ...]]:
+        """Return up to *size* rows."""
+        chunk: list[tuple[Any, ...]] = []
+        for _ in range(size):
+            row = self.fetchone()
+            if row is None:
+                break
+            chunk.append(row)
+        return chunk
+
+    def fetchall(self) -> list[tuple[Any, ...]]:
+        """Drain the plan and return every not-yet-fetched row."""
+        self.drain()
+        chunk = self._rows[self._pos :]
+        self._pos = len(self._rows)
+        return list(chunk)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- whole-result accessors -------------------------------------------------
+
+    @property
+    def rowcount(self) -> int:
+        """Total number of result rows (drains the remaining stream)."""
+        self.drain()
+        return len(self._rows)
+
+    def materialize(self) -> QueryResult:
+        """Drain and return the complete result (fetch positions unchanged)."""
+        self.drain()
+        return QueryResult(
+            columns=list(self.columns),
+            rows=list(self._rows),
+            rowcount=len(self._rows),
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` was called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Stop pulling and release operator resources mid-stream."""
+        if self._closed:
+            return
+        self._closed = True
+        close = getattr(self._pairs, "close", None)
+        if close is not None:
+            close()
+        self.root.close()
+
+    # -- introspection ------------------------------------------------------------
+
+    def describe(self, *, include_stats: bool = True) -> str:
+        """Render the physical operator tree (with runtime counters)."""
+        return describe_operator_tree(self.root, include_stats=include_stats)
+
+
 # ---------------------------------------------------------------------------
 # Executor
 # ---------------------------------------------------------------------------
 
 
 class Executor:
-    """Executes statements against a :class:`~repro.db.catalog.Catalog`."""
+    """Executes statements against a :class:`~repro.db.catalog.Catalog`.
 
-    def __init__(self, catalog: Catalog) -> None:
+    ``hash_joins`` toggles the equi-join fast path; the ablation benchmark
+    disables it to measure the nested-loop baseline.
+    """
+
+    def __init__(self, catalog: Catalog, *, hash_joins: bool = True) -> None:
         self._catalog = catalog
         self._planner = Planner(catalog)
+        self.hash_joins = hash_joins
 
     # -- entry point ------------------------------------------------------------
 
@@ -89,6 +225,7 @@ class Executor:
         statement: ast.Statement,
         *,
         missing_resolver: MissingResolver | None = None,
+        crowd: CrowdFillSpec | None = None,
         explain: bool = False,
         lock: ContextManager[Any] | None = None,
     ) -> QueryResult:
@@ -96,22 +233,27 @@ class Executor:
 
         When *lock* is given (the shared-catalog lock of the connection
         layer), catalog/storage access runs under it, but the evaluation
-        phase of SELECTs — where a crowd-backed ``missing_resolver`` may
-        spend real time — runs outside it on row copies, so one session's
+        phase of SELECTs — where crowd-backed resolution may spend real
+        time — runs outside it on row copies, so one session's
         crowd-sourcing does not serialize others.
         """
         guard = lock if lock is not None else nullcontext()
         if isinstance(statement, ast.SelectStatement):
             with guard:
                 plan = self._planner.plan_select(statement)
-            result = self._execute_select(plan, missing_resolver, lock=lock)
-            if explain:
-                result.plan_description = plan.describe()
-            return result
+            return self.execute_select_plan(
+                plan,
+                missing_resolver=missing_resolver,
+                crowd=crowd,
+                explain=explain,
+                lock=lock,
+            )
         if isinstance(statement, ast.ExplainStatement):
             with guard:
                 plan = self._planner.plan_select(statement.statement)
-            description = plan.describe()
+                description = self.describe_physical_plan(
+                    plan, missing_resolver=missing_resolver, crowd=crowd
+                )
             return QueryResult(
                 columns=["plan"],
                 rows=[(line,) for line in description.splitlines()],
@@ -137,293 +279,72 @@ class Executor:
                 return self._execute_delete(statement)
         raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
 
+    # -- SELECT -----------------------------------------------------------------
+
+    def open_select(
+        self,
+        plan: SelectPlan,
+        *,
+        missing_resolver: MissingResolver | None = None,
+        crowd: CrowdFillSpec | None = None,
+        lock: ContextManager[Any] | None = None,
+    ) -> SelectStream:
+        """Lower *plan*, open the operator tree and return a live stream.
+
+        Lowering and ``open()`` (where scans snapshot their row sets) run
+        under *lock*; pulling rows from the returned stream does not take
+        the lock, so crowd-backed evaluation never serializes other
+        sessions sharing the catalog.
+        """
+        guard = lock if lock is not None else nullcontext()
+        with guard:
+            root = self._planner.lower(
+                plan,
+                missing_resolver=missing_resolver,
+                crowd=crowd,
+                lock=lock,
+                hash_joins=self.hash_joins,
+            )
+            root.open()
+        return SelectStream(plan, root)
+
     def execute_select_plan(
         self,
         plan: SelectPlan,
         *,
         missing_resolver: MissingResolver | None = None,
+        crowd: CrowdFillSpec | None = None,
         explain: bool = False,
         lock: ContextManager[Any] | None = None,
     ) -> QueryResult:
-        """Execute an already-planned SELECT (the statement-cache fast path)."""
-        result = self._execute_select(plan, missing_resolver, lock=lock)
+        """Execute an already-planned SELECT to completion."""
+        stream = self.open_select(
+            plan, missing_resolver=missing_resolver, crowd=crowd, lock=lock
+        )
+        result = stream.materialize()
         if explain:
-            result.plan_description = plan.describe()
+            result.plan_description = stream.describe(include_stats=True)
         return result
 
-    # -- SELECT -----------------------------------------------------------------
-
-    def _execute_select(
+    def describe_physical_plan(
         self,
         plan: SelectPlan,
-        missing_resolver: MissingResolver | None,
         *,
-        lock: ContextManager[Any] | None = None,
-    ) -> QueryResult:
-        # Context building touches live storage and runs under the shared
-        # lock; the contexts hold row *copies*, so filtering, projection and
-        # aggregation below (where a missing resolver may crowd-source) are
-        # safe to run unlocked.
-        with (lock if lock is not None else nullcontext()):
-            contexts = self._build_contexts(plan, missing_resolver)
+        missing_resolver: MissingResolver | None = None,
+        crowd: CrowdFillSpec | None = None,
+    ) -> str:
+        """Render the physical operator tree for *plan* without executing.
 
-        if plan.where is not None:
-            contexts = [
-                context
-                for context in contexts
-                if evaluate_predicate(plan.where, context, missing_resolver=missing_resolver)
-            ]
-
-        if plan.aggregate is not None:
-            rows = self._aggregate_rows(plan, contexts, missing_resolver)
-        else:
-            rows = []
-            for context in contexts:
-                row = tuple(
-                    evaluate(column.expression, context, missing_resolver=missing_resolver)
-                    for column in plan.output
-                )
-                rows.append((row, context))
-
-        if plan.distinct:
-            seen: set[tuple[Any, ...]] = set()
-            deduplicated = []
-            for row, context in rows:
-                key = tuple(_hashable(value) for value in row)
-                if key not in seen:
-                    seen.add(key)
-                    deduplicated.append((row, context))
-            rows = deduplicated
-
-        if plan.order_by:
-            rows = self._sort_rows(plan, rows, missing_resolver)
-
-        if plan.offset:
-            rows = rows[plan.offset:]
-        if plan.limit is not None:
-            rows = rows[: plan.limit]
-
-        output_rows = [row for row, _context in rows]
-        columns = [column.name for column in plan.output]
-        return QueryResult(columns=columns, rows=output_rows, rowcount=len(output_rows))
-
-    def _build_contexts(
-        self, plan: SelectPlan, missing_resolver: MissingResolver | None
-    ) -> list[RowContext]:
-        if plan.scan is None:
-            return [RowContext()]
-        contexts = [
-            self._context_for_row(plan.scan.alias, row)
-            for row in self._scan_rows(plan.scan)
-        ]
-        for join in plan.joins:
-            right_rows = list(self._scan_rows(join.scan))
-            joined: list[RowContext] = []
-            for context in contexts:
-                matched = False
-                for row in right_rows:
-                    candidate = self._merge_context(context, join.scan.alias, row)
-                    if join.kind == "cross" or evaluate_predicate(
-                        join.condition, candidate, missing_resolver=missing_resolver
-                    ):
-                        joined.append(candidate)
-                        matched = True
-                if join.kind == "left" and not matched:
-                    null_row = {
-                        column: None
-                        for column in self._catalog.table(join.scan.table).schema.column_names
-                    }
-                    joined.append(self._merge_context(context, join.scan.alias, null_row))
-            contexts = joined
-        return contexts
-
-    def _scan_rows(self, scan: ScanPlan) -> Iterable[dict[str, Any]]:
-        table = self._catalog.table(scan.table)
-        if scan.uses_index and scan.index_value is not None:
-            index = table.index_on(scan.index_column or "")
-            value = evaluate(scan.index_value, RowContext())
-            if index is not None:
-                for rowid in sorted(index.lookup(value)):
-                    yield dict(table.get(rowid), __rowid__=rowid)
-                return
-        for rowid, row in table.scan():
-            yield dict(row, __rowid__=rowid)
-
-    @staticmethod
-    def _context_for_row(alias: str, row: dict[str, Any]) -> RowContext:
-        context = RowContext()
-        rowid = row.pop("__rowid__", None)
-        context.add_table_row(alias, row)
-        if rowid is not None:
-            context.set(f"{alias}.__rowid__", rowid)
-        return context
-
-    @staticmethod
-    def _merge_context(context: RowContext, alias: str, row: dict[str, Any]) -> RowContext:
-        merged = RowContext.from_mapping(context.as_mapping())
-        row = dict(row)
-        rowid = row.pop("__rowid__", None)
-        merged.add_table_row(alias, row)
-        if rowid is not None:
-            merged.set(f"{alias}.__rowid__", rowid)
-        return merged
-
-    # -- aggregation ---------------------------------------------------------------
-
-    def _aggregate_rows(
-        self,
-        plan: SelectPlan,
-        contexts: list[RowContext],
-        missing_resolver: MissingResolver | None,
-    ) -> list[tuple[tuple[Any, ...], RowContext]]:
-        aggregate = plan.aggregate
-        assert aggregate is not None
-        groups: dict[tuple[Any, ...], list[RowContext]] = {}
-        if aggregate.group_by:
-            for context in contexts:
-                key = tuple(
-                    _hashable(evaluate(expr, context, missing_resolver=missing_resolver))
-                    for expr in aggregate.group_by
-                )
-                groups.setdefault(key, []).append(context)
-        else:
-            groups[()] = contexts
-
-        rows: list[tuple[tuple[Any, ...], RowContext]] = []
-        for group_contexts in groups.values():
-            representative = group_contexts[0] if group_contexts else RowContext()
-            if aggregate.having is not None:
-                having_value = self._evaluate_aggregate_expression(
-                    aggregate.having, group_contexts, representative, missing_resolver
-                )
-                if not _truthy(having_value):
-                    continue
-            row = tuple(
-                self._evaluate_aggregate_expression(
-                    column.expression, group_contexts, representative, missing_resolver
-                )
-                for column in plan.output
-            )
-            rows.append((row, representative))
-        return rows
-
-    def _evaluate_aggregate_expression(
-        self,
-        expr: ast.Expression,
-        group: Sequence[RowContext],
-        representative: RowContext,
-        missing_resolver: MissingResolver | None,
-    ) -> Any:
-        if isinstance(expr, ast.FunctionCall) and expr.name.lower() in ast.AGGREGATE_FUNCTIONS:
-            return self._compute_aggregate(expr, group, missing_resolver)
-        if isinstance(expr, ast.BinaryOp):
-            left = self._evaluate_aggregate_expression(
-                expr.left, group, representative, missing_resolver
-            )
-            right = self._evaluate_aggregate_expression(
-                expr.right, group, representative, missing_resolver
-            )
-            synthetic = ast.BinaryOp(expr.op, ast.Literal(left), ast.Literal(right))
-            return evaluate(synthetic, representative)
-        if isinstance(expr, ast.UnaryOp):
-            operand = self._evaluate_aggregate_expression(
-                expr.operand, group, representative, missing_resolver
-            )
-            return evaluate(ast.UnaryOp(expr.op, ast.Literal(operand)), representative)
-        return evaluate(expr, representative, missing_resolver=missing_resolver)
-
-    @staticmethod
-    def _compute_aggregate(
-        call: ast.FunctionCall,
-        group: Sequence[RowContext],
-        missing_resolver: MissingResolver | None,
-    ) -> Any:
-        name = call.name.lower()
-        if call.star:
-            if name != "count":
-                raise ExecutionError(f"{name.upper()}(*) is not a valid aggregate")
-            return len(group)
-        if len(call.args) != 1:
-            raise ExecutionError(f"aggregate {name.upper()} takes exactly one argument")
-        values = []
-        for context in group:
-            value = evaluate(call.args[0], context, missing_resolver=missing_resolver)
-            if value is None or is_missing(value):
-                continue
-            values.append(value)
-        if call.distinct:
-            unique: list[Any] = []
-            seen: set[Any] = set()
-            for value in values:
-                key = _hashable(value)
-                if key not in seen:
-                    seen.add(key)
-                    unique.append(value)
-            values = unique
-        if name == "count":
-            return len(values)
-        if not values:
-            return None
-        if name == "sum":
-            return sum(values)
-        if name == "avg":
-            return sum(values) / len(values)
-        if name == "min":
-            return min(values)
-        if name == "max":
-            return max(values)
-        raise ExecutionError(f"unknown aggregate {name!r}")
-
-    # -- ordering ----------------------------------------------------------------
-
-    def _sort_rows(
-        self,
-        plan: SelectPlan,
-        rows: list[tuple[tuple[Any, ...], RowContext]],
-        missing_resolver: MissingResolver | None,
-    ) -> list[tuple[tuple[Any, ...], RowContext]]:
-        column_names = [column.name for column in plan.output]
-
-        def sort_key_context(row: tuple[Any, ...], context: RowContext) -> RowContext:
-            extended = RowContext.from_mapping(context.as_mapping())
-            for name, value in zip(column_names, row):
-                extended.set(name, value)
-            return extended
-
-        def key_for(item: ast.OrderItem):
-            def compute(entry: tuple[tuple[Any, ...], RowContext]):
-                row, context = entry
-                extended = sort_key_context(row, context)
-                if plan.aggregate is not None:
-                    value = self._evaluate_aggregate_expression(
-                        item.expression, [context], extended, missing_resolver
-                    )
-                else:
-                    value = evaluate(item.expression, extended, missing_resolver=missing_resolver)
-                # Unknown values sort last regardless of direction.
-                missing = value is None or is_missing(value)
-                return missing, value
-            return compute
-
-        ordered = list(rows)
-        for item in reversed(plan.order_by):
-            compute = key_for(item)
-            decorated = [(compute(entry), entry) for entry in ordered]
-
-            def sort_value(element):
-                (missing, value), _entry = element
-                return (missing, _ComparableValue(value))
-
-            # Python's sort is stable, so applying the keys from least to most
-            # significant yields a correct multi-key ordering.
-            decorated.sort(key=sort_value, reverse=not item.ascending)
-            if not item.ascending:
-                # keep unknown values last even for descending sorts
-                known = [d for d in decorated if not d[0][0]]
-                unknown = [d for d in decorated if d[0][0]]
-                decorated = known + unknown
-            ordered = [entry for _key, entry in decorated]
-        return ordered
+        Must run under the catalog lock when the catalog is shared (the
+        lowering reads table schemas).
+        """
+        root = self._planner.lower(
+            plan,
+            missing_resolver=missing_resolver,
+            crowd=crowd,
+            hash_joins=self.hash_joins,
+        )
+        return describe_operator_tree(root, include_stats=False)
 
     # -- DDL -----------------------------------------------------------------------
 
@@ -505,47 +426,6 @@ class Executor:
 # ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
-
-
-class _ComparableValue:
-    """Total-order wrapper so heterogeneous sort keys never raise."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: Any) -> None:
-        self.value = value
-
-    def _rank(self) -> tuple[int, Any]:
-        value = self.value
-        if value is None or is_missing(value):
-            return (3, 0)
-        if isinstance(value, bool):
-            return (0, int(value))
-        if isinstance(value, (int, float)):
-            return (0, float(value))
-        if isinstance(value, str):
-            return (1, value)
-        return (2, str(value))
-
-    def __lt__(self, other: "_ComparableValue") -> bool:
-        return self._rank() < other._rank()
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, _ComparableValue):
-            return NotImplemented
-        return self._rank() == other._rank()
-
-
-def _hashable(value: Any) -> Any:
-    if is_missing(value):
-        return "\x00MISSING\x00"
-    return value
-
-
-def _truthy(value: Any) -> bool:
-    if value is None or is_missing(value):
-        return False
-    return bool(value)
 
 
 def _column_from_definition(definition: ast.ColumnDefinition) -> Column:

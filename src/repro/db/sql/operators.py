@@ -1,0 +1,1118 @@
+"""Physical operator algebra: Volcano-style iterators for SELECT execution.
+
+The planner produces a *logical* :class:`~repro.db.sql.planner.SelectPlan`;
+:func:`lower_select_plan` lowers it into a tree of composable physical
+operators, each a pull-based iterator:
+
+* access paths — :class:`SeqScan`, :class:`IndexScan` (rendered as
+  ``IndexLookup``), both snapshotting the row set under the catalog lock at
+  ``open()`` time and copying rows lazily as they are pulled;
+* :class:`CrowdFill` — the crowd-acquisition operator.  It watches the rows
+  streaming out of a scan for MISSING values of crowd-sourced (perceptual)
+  attributes and dispatches them to a batch :class:`ValueSource` in
+  configurable batches: one coalesced platform call per attribute per
+  ``batch_size`` missing rows instead of one resolver call per row;
+* joins — :class:`NestedLoopJoin` (general predicates, per-join invariants
+  such as the materialized right side and the LEFT JOIN null-row template
+  are hoisted out of the probe loop) and :class:`HashJoin`, the equi-join
+  fast path that builds a hash table on the right input once and probes it
+  with each left row;
+* :class:`Filter`, :class:`Project`, :class:`Aggregate`, :class:`Distinct`,
+  :class:`Sort` and :class:`Limit`.
+
+Operators pull from their children lazily, so a ``LIMIT k`` query without an
+ORDER BY stops pulling from the scan after *k* rows instead of materializing
+the table, and cursors can stream rows to the client incrementally.  Every
+operator counts the rows it produced (``rows_out``); the EXPLAIN rendering
+(:func:`describe_operator_tree`) shows the tree in pipeline order together
+with those counts and the crowd-batch statistics of any ``CrowdFill``.
+
+Item types flowing between operators:
+
+* below :class:`Bind`: ``(rowid, row_dict)`` pairs (private row copies);
+* between :class:`Bind` and the projection: :class:`RowContext` objects;
+* above :class:`Project`/:class:`Aggregate`: ``(row_tuple, context)`` pairs.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, ContextManager, Iterator, Optional, Sequence
+
+from repro.db.catalog import Catalog
+from repro.db.schema import AttributeKind, TableSchema
+from repro.db.sql import ast
+from repro.db.sql.expressions import (
+    MissingResolver,
+    RowContext,
+    evaluate,
+    evaluate_predicate,
+    expression_label,
+)
+from repro.db.sql.planner import OutputColumn, ScanPlan, SelectPlan
+from repro.db.types import is_missing
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.crowd_operators import ValueSource
+
+
+# ---------------------------------------------------------------------------
+# Crowd-fill configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CrowdFillSpec:
+    """How a query should acquire MISSING crowd-sourced values in bulk.
+
+    Parameters
+    ----------
+    source:
+        A batch :class:`~repro.db.crowd_operators.ValueSource`; each
+        ``request_values`` call corresponds to one coalesced crowd dispatch
+        (e.g. one HIT group on the simulated platform).
+    batch_size:
+        Number of missing rows coalesced into one platform call.  N missing
+        rows for one attribute produce ``ceil(N / batch_size)`` calls.
+    write_back:
+        Whether obtained values are persisted to storage (under the catalog
+        lock) so later queries need no further crowd work.
+    session:
+        Optional session-budget hook (duck-typed: ``budget_exhausted`` and
+        ``record_cost(cost)``, i.e. a
+        :class:`~repro.db.connection.SessionContext`).  When set, no batch
+        is dispatched once the budget is exhausted, and sources that track
+        spending through a ``total_cost`` attribute (e.g.
+        :class:`~repro.crowd.sources.SimulatedCrowdValueSource`) have each
+        dispatch's cost charged against the session.
+    """
+
+    source: "ValueSource"
+    batch_size: int = 50
+    write_back: bool = True
+    session: Any = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ExecutionError(
+                f"crowd batch_size must be positive, got {self.batch_size}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Operator base
+# ---------------------------------------------------------------------------
+
+
+class Operator:
+    """One node of a physical execution plan.
+
+    Lifecycle: construct (cheap), ``open()`` once under the catalog lock
+    (scans snapshot their row set here), iterate (pull-based, unlocked),
+    ``close()``.  An operator tree is single-use.
+    """
+
+    label = "Operator"
+    #: Hidden operators are glue (e.g. :class:`Bind`) and are omitted from
+    #: the EXPLAIN rendering.
+    hidden = False
+
+    def __init__(self, *children: "Operator") -> None:
+        self.children: tuple[Operator, ...] = children
+        #: Number of items this operator has produced so far.
+        self.rows_out = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(self) -> None:
+        """Prepare for execution; called once, under the catalog lock."""
+        for child in self.children:
+            child.open()
+
+    def close(self) -> None:
+        """Release resources (snapshots, hash tables)."""
+        for child in self.children:
+            child.close()
+
+    # -- iteration -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        for item in self._produce():
+            self.rows_out += 1
+            yield item
+
+    def _produce(self) -> Iterator[Any]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # -- introspection -------------------------------------------------------
+
+    def detail(self) -> str:
+        """Operator-specific annotation rendered after the label."""
+        return ""
+
+    def stats(self) -> str:
+        """Runtime statistics rendered by EXPLAIN when the tree executed."""
+        return f"rows={self.rows_out}"
+
+    def render_line(self) -> str:
+        """The operator's EXPLAIN line (without indentation or stats)."""
+        detail = self.detail()
+        return self.label + (f" {detail}" if detail else "")
+
+    def walk(self) -> Iterator["Operator"]:
+        """Yield this operator and all descendants (pre-order)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        detail = self.detail()
+        return f"<{self.label}{' ' + detail if detail else ''} rows_out={self.rows_out}>"
+
+
+# ---------------------------------------------------------------------------
+# Row-level helpers
+# ---------------------------------------------------------------------------
+
+
+def _copy_row(row: dict[str, Any]) -> dict[str, Any]:
+    """Copy a live storage row, retrying if concurrent DDL resizes it."""
+    while True:
+        try:
+            return dict(row)
+        except RuntimeError:  # pragma: no cover - needs a racing ALTER TABLE
+            continue
+
+
+def _context_for(alias: str, rowid: Optional[int], row: dict[str, Any]) -> RowContext:
+    context = RowContext()
+    context.add_table_row(alias, row)
+    if rowid is not None:
+        context.set(f"{alias}.__rowid__", rowid)
+    return context
+
+
+def _merge_context(
+    context: RowContext, alias: str, rowid: Optional[int], row: dict[str, Any]
+) -> RowContext:
+    merged = RowContext.from_mapping(context.as_mapping())
+    merged.add_table_row(alias, row)
+    if rowid is not None:
+        merged.set(f"{alias}.__rowid__", rowid)
+    return merged
+
+
+def hashable_key(value: Any) -> Any:
+    """Map a value to a hashable stand-in (MISSING gets a private sentinel)."""
+    if is_missing(value):
+        return "\x00MISSING\x00"
+    return value
+
+
+def _truthy(value: Any) -> bool:
+    if value is None or is_missing(value):
+        return False
+    return bool(value)
+
+
+def _is_unknown(value: Any) -> bool:
+    return value is None or is_missing(value)
+
+
+class _ComparableValue:
+    """Total-order sort-key wrapper so heterogeneous keys never raise.
+
+    Values are ranked numeric < text < other; ``None`` and MISSING rank
+    **last** (NULLS LAST).  The :class:`Sort` operator additionally
+    re-partitions unknown values to the end for descending sorts, so the
+    contract is: unknown sort keys always appear after all known keys,
+    regardless of sort direction.  ``__hash__`` is defined consistently
+    with ``__eq__`` (two wrappers comparing equal hash equal), so wrapped
+    keys are usable in sets and dictionaries.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def _rank(self) -> tuple[int, Any]:
+        value = self.value
+        if value is None or is_missing(value):
+            return (3, 0)
+        if isinstance(value, bool):
+            return (0, int(value))
+        if isinstance(value, (int, float)):
+            return (0, float(value))
+        if isinstance(value, str):
+            return (1, value)
+        return (2, str(value))
+
+    def __lt__(self, other: "_ComparableValue") -> bool:
+        return self._rank() < other._rank()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _ComparableValue):
+            return NotImplemented
+        return self._rank() == other._rank()
+
+    def __hash__(self) -> int:
+        return hash(self._rank())
+
+
+# ---------------------------------------------------------------------------
+# Access paths (yield (rowid, row) pairs)
+# ---------------------------------------------------------------------------
+
+
+class SeqScan(Operator):
+    """Full-table scan over a snapshot taken at ``open()`` time.
+
+    The snapshot holds *references* (cheap); each row is copied lazily as it
+    is pulled, so a downstream LIMIT stops the copying early.
+    ``rows_scanned`` counts the rows actually pulled through the scan.
+    """
+
+    label = "SeqScan"
+
+    def __init__(self, catalog: Catalog, table: str, alias: str) -> None:
+        super().__init__()
+        self._catalog = catalog
+        self.table = table
+        self.alias = alias
+        self._snapshot: list[tuple[int, dict[str, Any]]] = []
+        self.rows_scanned = 0
+
+    def open(self) -> None:
+        self._snapshot = self._catalog.table(self.table).snapshot()
+
+    def close(self) -> None:
+        self._snapshot = []
+        super().close()
+
+    def _produce(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        for rowid, row in self._snapshot:
+            self.rows_scanned += 1
+            yield rowid, _copy_row(row)
+
+    def detail(self) -> str:
+        return f"{self.table} AS {self.alias}"
+
+
+class IndexScan(Operator):
+    """Hash-index equality lookup (rendered as ``IndexLookup``)."""
+
+    label = "IndexLookup"
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        table: str,
+        alias: str,
+        column: str,
+        value_expr: ast.Expression,
+    ) -> None:
+        super().__init__()
+        self._catalog = catalog
+        self.table = table
+        self.alias = alias
+        self.column = column
+        self._value_expr = value_expr
+        self._snapshot: list[tuple[int, dict[str, Any]]] = []
+        self.rows_scanned = 0
+
+    def open(self) -> None:
+        storage = self._catalog.table(self.table)
+        index = storage.index_on(self.column)
+        if index is None:  # index vanished between planning and execution
+            self._snapshot = storage.snapshot()
+            return
+        value = evaluate(self._value_expr, RowContext())
+        self._snapshot = [
+            (rowid, storage.get(rowid)) for rowid in sorted(index.lookup(value))
+        ]
+
+    def close(self) -> None:
+        self._snapshot = []
+        super().close()
+
+    def _produce(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        for rowid, row in self._snapshot:
+            self.rows_scanned += 1
+            yield rowid, _copy_row(row)
+
+    def detail(self) -> str:
+        return f"{self.table} AS {self.alias} ON {self.column}"
+
+
+class CrowdFill(Operator):
+    """Batch-acquire MISSING crowd-sourced attribute values mid-stream.
+
+    Sits directly above a table's scan.  Rows stream through in input
+    order; whenever ``batch_size`` rows with at least one MISSING watched
+    attribute have accumulated (or the input is exhausted), one coalesced
+    ``request_values`` call per attribute is dispatched to the batch
+    source.  Obtained values are patched into the in-flight rows and, when
+    ``write_back`` is set, persisted to storage under the catalog lock.
+
+    Contract: N missing rows for one attribute produce
+    ``ceil(N / batch_size)`` platform calls — never one call per row.
+    """
+
+    label = "CrowdFill"
+
+    def __init__(
+        self,
+        child: Operator,
+        catalog: Catalog,
+        table: str,
+        attributes: Sequence[str],
+        spec: CrowdFillSpec,
+        lock: ContextManager[Any] | None = None,
+    ) -> None:
+        super().__init__(child)
+        self._catalog = catalog
+        self.table = table
+        self.attributes = list(attributes)
+        self.spec = spec
+        self._lock = lock if lock is not None else nullcontext()
+        #: Number of coalesced platform calls dispatched (per attribute).
+        self.batches_dispatched = 0
+        #: Number of missing values requested from the source.
+        self.values_requested = 0
+        #: Number of values actually obtained and patched in.
+        self.values_filled = 0
+
+    def _produce(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        pending: list[tuple[int, dict[str, Any]]] = []
+        missing = 0
+        for rowid, row in self.children[0]:
+            row_missing = any(
+                is_missing(row.get(attribute)) for attribute in self.attributes
+            )
+            # Rows with nothing to fill stream straight through while no
+            # batch is accumulating, so fully-populated tables keep LIMIT
+            # early termination; once a missing row opens a batch, later
+            # rows queue behind it to preserve input order.
+            if not pending and not row_missing:
+                yield rowid, row
+                continue
+            pending.append((rowid, row))
+            if row_missing:
+                missing += 1
+            if missing >= self.spec.batch_size:
+                yield from self._flush(pending)
+                pending = []
+                missing = 0
+        if pending:
+            yield from self._flush(pending)
+
+    def _flush(
+        self, pending: list[tuple[int, dict[str, Any]]]
+    ) -> list[tuple[int, dict[str, Any]]]:
+        session = self.spec.session
+        for attribute in self.attributes:
+            if session is not None and session.budget_exhausted:
+                # Budget ran out mid-query: emit the rows with their cells
+                # still MISSING instead of spending past the cap.
+                break
+            items = [
+                (rowid, row)
+                for rowid, row in pending
+                if is_missing(row.get(attribute))
+            ]
+            if not items:
+                continue
+            cost_before = getattr(self.spec.source, "total_cost", None)
+            values = self.spec.source.request_values(
+                attribute, [(rowid, dict(row)) for rowid, row in items]
+            )
+            self.batches_dispatched += 1
+            if session is not None and cost_before is not None:
+                session.record_cost(self.spec.source.total_cost - cost_before)
+            self.values_requested += len(items)
+            resolved = {
+                rowid: value for rowid, value in values.items() if not is_missing(value)
+            }
+            for rowid, row in items:
+                if rowid in resolved:
+                    row[attribute] = resolved[rowid]
+                    self.values_filled += 1
+            if self.spec.write_back and resolved:
+                with self._lock:
+                    self._catalog.table(self.table).fill_values(
+                        attribute, resolved, skip_deleted=True
+                    )
+        return pending
+
+    def detail(self) -> str:
+        return ", ".join(f"{self.table}.{a}" for a in self.attributes)
+
+    def render_line(self) -> str:
+        return f"CrowdFill(batch_size={self.spec.batch_size}) {self.detail()}"
+
+    def stats(self) -> str:
+        return (
+            f"rows={self.rows_out} batches={self.batches_dispatched} "
+            f"filled={self.values_filled}/{self.values_requested}"
+        )
+
+
+class Bind(Operator):
+    """Glue: turn a table source's ``(rowid, row)`` pairs into contexts."""
+
+    label = "Bind"
+    hidden = True
+
+    def __init__(self, child: Operator, alias: str) -> None:
+        super().__init__(child)
+        self.alias = alias
+
+    def _produce(self) -> Iterator[RowContext]:
+        for rowid, row in self.children[0]:
+            yield _context_for(self.alias, rowid, row)
+
+
+class SingleRow(Operator):
+    """Source for table-less SELECTs: one empty context."""
+
+    label = "Result"
+
+    def _produce(self) -> Iterator[RowContext]:
+        yield RowContext()
+
+    def detail(self) -> str:
+        return "(no table)"
+
+
+# ---------------------------------------------------------------------------
+# Joins (left child yields contexts, right child yields (rowid, row) pairs)
+# ---------------------------------------------------------------------------
+
+
+class NestedLoopJoin(Operator):
+    """General-purpose join: evaluate the condition per candidate pair.
+
+    Join invariants are hoisted out of the probe loop: the right input is
+    materialized exactly once at first pull, and the LEFT JOIN null-row
+    template is built once per join, not once per unmatched left row.
+    """
+
+    label = "NestedLoopJoin"
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        alias: str,
+        condition: Optional[ast.Expression],
+        kind: str,
+        right_columns: Sequence[str],
+        missing_resolver: MissingResolver | None = None,
+    ) -> None:
+        super().__init__(left, right)
+        self.alias = alias
+        self.condition = condition
+        self.kind = kind
+        self._right_columns = list(right_columns)
+        self._resolver = missing_resolver
+
+    def _produce(self) -> Iterator[RowContext]:
+        right_rows = list(self.children[1])  # materialized once per join
+        null_row = {column: None for column in self._right_columns}  # hoisted
+        for context in self.children[0]:
+            matched = False
+            for rowid, row in right_rows:
+                candidate = _merge_context(context, self.alias, rowid, row)
+                if self.kind == "cross" or evaluate_predicate(
+                    self.condition, candidate, missing_resolver=self._resolver
+                ):
+                    matched = True
+                    yield candidate
+            if self.kind == "left" and not matched:
+                yield _merge_context(context, self.alias, None, null_row)
+
+    def detail(self) -> str:
+        condition = (
+            expression_label(self.condition) if self.condition is not None else "TRUE"
+        )
+        return f"{self.kind.upper()} {self.alias} ON {condition}"
+
+
+class HashJoin(Operator):
+    """Equi-join fast path: hash the right input once, probe per left row.
+
+    Only lowered for ``left.col = right.col`` conditions with qualified
+    references and no per-row missing-value resolver (the resolver could
+    change key values mid-probe, which only the nested-loop path models).
+    Unknown keys (NULL/MISSING) never match, matching SQL three-valued
+    equality; unmatched left rows of a LEFT JOIN get the hoisted null row.
+    """
+
+    label = "HashJoin"
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        alias: str,
+        left_key: ast.ColumnRef,
+        right_key_column: str,
+        kind: str,
+        right_columns: Sequence[str],
+    ) -> None:
+        super().__init__(left, right)
+        self.alias = alias
+        self.left_key = left_key
+        self.right_key_column = right_key_column
+        self.kind = kind
+        self._right_columns = list(right_columns)
+        #: Number of buckets in the build-side hash table (for EXPLAIN).
+        self.build_rows = 0
+
+    def _produce(self) -> Iterator[RowContext]:
+        table: dict[Any, list[tuple[int, dict[str, Any]]]] = {}
+        for rowid, row in self.children[1]:
+            key = row.get(self.right_key_column)
+            if _is_unknown(key):
+                continue
+            table.setdefault(key, []).append((rowid, row))
+            self.build_rows += 1
+        null_row = {column: None for column in self._right_columns}
+        for context in self.children[0]:
+            key = evaluate(self.left_key, context)
+            matches = None if _is_unknown(key) else table.get(key)
+            if matches:
+                for rowid, row in matches:
+                    yield _merge_context(context, self.alias, rowid, row)
+            elif self.kind == "left":
+                yield _merge_context(context, self.alias, None, null_row)
+
+    def detail(self) -> str:
+        left = (
+            f"{self.left_key.table}.{self.left_key.name}"
+            if self.left_key.table
+            else self.left_key.name
+        )
+        return f"{self.kind.upper()} {self.alias} ON {left} = {self.alias}.{self.right_key_column}"
+
+    def stats(self) -> str:
+        return f"rows={self.rows_out} build={self.build_rows}"
+
+
+# ---------------------------------------------------------------------------
+# Row-set operators
+# ---------------------------------------------------------------------------
+
+
+class Filter(Operator):
+    """Keep contexts whose predicate evaluates to TRUE (unknown drops)."""
+
+    label = "Filter"
+
+    def __init__(
+        self,
+        child: Operator,
+        predicate: ast.Expression,
+        missing_resolver: MissingResolver | None = None,
+    ) -> None:
+        super().__init__(child)
+        self.predicate = predicate
+        self._resolver = missing_resolver
+        self.rows_in = 0
+
+    def _produce(self) -> Iterator[RowContext]:
+        for context in self.children[0]:
+            self.rows_in += 1
+            if evaluate_predicate(
+                self.predicate, context, missing_resolver=self._resolver
+            ):
+                yield context
+
+    def detail(self) -> str:
+        return expression_label(self.predicate)
+
+
+class Project(Operator):
+    """Evaluate the output expressions; yields ``(row_tuple, context)``."""
+
+    label = "Project"
+
+    def __init__(
+        self,
+        child: Operator,
+        output: Sequence[OutputColumn],
+        missing_resolver: MissingResolver | None = None,
+    ) -> None:
+        super().__init__(child)
+        self.output = tuple(output)
+        self._resolver = missing_resolver
+
+    def _produce(self) -> Iterator[tuple[tuple[Any, ...], RowContext]]:
+        for context in self.children[0]:
+            row = tuple(
+                evaluate(column.expression, context, missing_resolver=self._resolver)
+                for column in self.output
+            )
+            yield row, context
+
+    def detail(self) -> str:
+        return ", ".join(column.name for column in self.output)
+
+
+# -- aggregation -------------------------------------------------------------
+
+
+def compute_aggregate(
+    call: ast.FunctionCall,
+    group: Sequence[RowContext],
+    missing_resolver: MissingResolver | None,
+) -> Any:
+    """Compute one aggregate function over a group of row contexts."""
+    name = call.name.lower()
+    if call.star:
+        if name != "count":
+            raise ExecutionError(f"{name.upper()}(*) is not a valid aggregate")
+        return len(group)
+    if len(call.args) != 1:
+        raise ExecutionError(f"aggregate {name.upper()} takes exactly one argument")
+    values = []
+    for context in group:
+        value = evaluate(call.args[0], context, missing_resolver=missing_resolver)
+        if value is None or is_missing(value):
+            continue
+        values.append(value)
+    if call.distinct:
+        unique: list[Any] = []
+        seen: set[Any] = set()
+        for value in values:
+            key = hashable_key(value)
+            if key not in seen:
+                seen.add(key)
+                unique.append(value)
+        values = unique
+    if name == "count":
+        return len(values)
+    if not values:
+        return None
+    if name == "sum":
+        return sum(values)
+    if name == "avg":
+        return sum(values) / len(values)
+    if name == "min":
+        return min(values)
+    if name == "max":
+        return max(values)
+    raise ExecutionError(f"unknown aggregate {name!r}")
+
+
+def evaluate_aggregate_expression(
+    expr: ast.Expression,
+    group: Sequence[RowContext],
+    representative: RowContext,
+    missing_resolver: MissingResolver | None,
+) -> Any:
+    """Evaluate an expression that may mix aggregates and scalars."""
+    if isinstance(expr, ast.FunctionCall) and expr.name.lower() in ast.AGGREGATE_FUNCTIONS:
+        return compute_aggregate(expr, group, missing_resolver)
+    if isinstance(expr, ast.BinaryOp):
+        left = evaluate_aggregate_expression(
+            expr.left, group, representative, missing_resolver
+        )
+        right = evaluate_aggregate_expression(
+            expr.right, group, representative, missing_resolver
+        )
+        synthetic = ast.BinaryOp(expr.op, ast.Literal(left), ast.Literal(right))
+        return evaluate(synthetic, representative)
+    if isinstance(expr, ast.UnaryOp):
+        operand = evaluate_aggregate_expression(
+            expr.operand, group, representative, missing_resolver
+        )
+        return evaluate(ast.UnaryOp(expr.op, ast.Literal(operand)), representative)
+    return evaluate(expr, representative, missing_resolver=missing_resolver)
+
+
+class Aggregate(Operator):
+    """Blocking GROUP BY/HAVING operator; yields ``(row_tuple, context)``."""
+
+    label = "Aggregate"
+
+    def __init__(
+        self,
+        child: Operator,
+        output: Sequence[OutputColumn],
+        group_by: Sequence[ast.Expression],
+        having: Optional[ast.Expression],
+        missing_resolver: MissingResolver | None = None,
+    ) -> None:
+        super().__init__(child)
+        self.output = tuple(output)
+        self.group_by = tuple(group_by)
+        self.having = having
+        self._resolver = missing_resolver
+        self.groups_built = 0
+
+    def _produce(self) -> Iterator[tuple[tuple[Any, ...], RowContext]]:
+        groups: dict[tuple[Any, ...], list[RowContext]] = {}
+        if self.group_by:
+            for context in self.children[0]:
+                key = tuple(
+                    hashable_key(
+                        evaluate(expr, context, missing_resolver=self._resolver)
+                    )
+                    for expr in self.group_by
+                )
+                groups.setdefault(key, []).append(context)
+        else:
+            # A global aggregate always emits one row, even over no input.
+            groups[()] = list(self.children[0])
+        self.groups_built = len(groups)
+
+        for group_contexts in groups.values():
+            representative = group_contexts[0] if group_contexts else RowContext()
+            if self.having is not None:
+                having_value = evaluate_aggregate_expression(
+                    self.having, group_contexts, representative, self._resolver
+                )
+                if not _truthy(having_value):
+                    continue
+            row = tuple(
+                evaluate_aggregate_expression(
+                    column.expression, group_contexts, representative, self._resolver
+                )
+                for column in self.output
+            )
+            yield row, representative
+
+    def detail(self) -> str:
+        keys = ", ".join(expression_label(e) for e in self.group_by) or "<all>"
+        return f"BY {keys}"
+
+    def stats(self) -> str:
+        return f"rows={self.rows_out} groups={self.groups_built}"
+
+
+class Distinct(Operator):
+    """Drop duplicate projected rows (first occurrence wins)."""
+
+    label = "Distinct"
+
+    def __init__(self, child: Operator) -> None:
+        super().__init__(child)
+
+    def _produce(self) -> Iterator[tuple[tuple[Any, ...], RowContext]]:
+        seen: set[tuple[Any, ...]] = set()
+        for row, context in self.children[0]:
+            key = tuple(hashable_key(value) for value in row)
+            if key not in seen:
+                seen.add(key)
+                yield row, context
+
+
+class Sort(Operator):
+    """Blocking multi-key sort.
+
+    Unknown sort keys (NULL/MISSING) are placed last regardless of sort
+    direction (NULLS LAST) — see :class:`_ComparableValue`.
+    """
+
+    label = "Sort"
+
+    def __init__(
+        self,
+        child: Operator,
+        order_by: Sequence[ast.OrderItem],
+        output_names: Sequence[str],
+        aggregate: bool,
+        missing_resolver: MissingResolver | None = None,
+    ) -> None:
+        super().__init__(child)
+        self.order_by = tuple(order_by)
+        self._output_names = list(output_names)
+        self._aggregate = aggregate
+        self._resolver = missing_resolver
+
+    def _produce(self) -> Iterator[tuple[tuple[Any, ...], RowContext]]:
+        ordered = list(self.children[0])
+
+        def sort_key_context(
+            row: tuple[Any, ...], context: RowContext
+        ) -> RowContext:
+            extended = RowContext.from_mapping(context.as_mapping())
+            for name, value in zip(self._output_names, row):
+                extended.set(name, value)
+            return extended
+
+        def key_for(item: ast.OrderItem):
+            def compute(entry: tuple[tuple[Any, ...], RowContext]):
+                row, context = entry
+                extended = sort_key_context(row, context)
+                if self._aggregate:
+                    value = evaluate_aggregate_expression(
+                        item.expression, [context], extended, self._resolver
+                    )
+                else:
+                    value = evaluate(
+                        item.expression, extended, missing_resolver=self._resolver
+                    )
+                missing = value is None or is_missing(value)
+                return missing, value
+
+            return compute
+
+        for item in reversed(self.order_by):
+            compute = key_for(item)
+            decorated = [(compute(entry), entry) for entry in ordered]
+
+            def sort_value(element):
+                (missing, value), _entry = element
+                return (missing, _ComparableValue(value))
+
+            # Python's sort is stable, so applying keys from least to most
+            # significant yields a correct multi-key ordering.
+            decorated.sort(key=sort_value, reverse=not item.ascending)
+            if not item.ascending:
+                # NULLS LAST also for descending sorts.
+                known = [d for d in decorated if not d[0][0]]
+                unknown = [d for d in decorated if d[0][0]]
+                decorated = known + unknown
+            ordered = [entry for _key, entry in decorated]
+
+        yield from ordered
+
+    def detail(self) -> str:
+        return ", ".join(
+            expression_label(item.expression) + ("" if item.ascending else " DESC")
+            for item in self.order_by
+        )
+
+
+class Limit(Operator):
+    """OFFSET/LIMIT with early termination.
+
+    Once ``limit`` rows have been emitted the operator stops pulling from
+    its child entirely, so an un-sorted ``LIMIT k`` query never scans past
+    the rows it needs.
+    """
+
+    label = "Limit"
+
+    def __init__(self, child: Operator, limit: Optional[int], offset: int = 0) -> None:
+        super().__init__(child)
+        self.limit = limit
+        self.offset = offset
+
+    def _produce(self) -> Iterator[Any]:
+        if self.limit == 0:
+            return
+        skipped = 0
+        emitted = 0
+        for item in self.children[0]:
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            yield item
+            emitted += 1
+            if self.limit is not None and emitted >= self.limit:
+                return
+
+    def detail(self) -> str:
+        if self.limit is None:
+            return f"ALL Offset {self.offset}"
+        return f"{self.limit}" + (f" Offset {self.offset}" if self.offset else "")
+
+
+# ---------------------------------------------------------------------------
+# Lowering: SelectPlan -> operator tree
+# ---------------------------------------------------------------------------
+
+
+def crowd_attributes_for(plan: SelectPlan, schema: TableSchema, alias: str) -> list[str]:
+    """Columns of the table scanned as *alias* that *plan* reads and that
+    are crowd-sourced in *schema*.
+
+    Qualified references (``m.is_comedy``) only ever target their own
+    alias; unqualified references bind to the single table that has the
+    column (the planner rejects ambiguous bare names).  This keeps
+    ``CrowdFill`` from spending crowd money on a same-named perceptual
+    column of a joined table the query never evaluates.
+    """
+    alias = alias.lower()
+    refs = plan.referenced_refs or tuple((None, name) for name in plan.referenced_columns)
+    attributes: list[str] = []
+    for qualifier, name in refs:
+        if qualifier is not None and qualifier != alias:
+            continue
+        if (
+            name in schema
+            and schema.column(name).kind is AttributeKind.PERCEPTUAL
+            and name not in attributes
+        ):
+            attributes.append(name)
+    return sorted(attributes)
+
+
+def _lower_scan(
+    plan: SelectPlan,
+    scan: ScanPlan,
+    catalog: Catalog,
+    crowd: CrowdFillSpec | None,
+    lock: ContextManager[Any] | None,
+) -> Operator:
+    source: Operator
+    if scan.uses_index and scan.index_value is not None:
+        source = IndexScan(
+            catalog, scan.table, scan.alias, scan.index_column or "", scan.index_value
+        )
+    else:
+        source = SeqScan(catalog, scan.table, scan.alias)
+    if crowd is not None:
+        attributes = crowd_attributes_for(
+            plan, catalog.table(scan.table).schema, scan.alias
+        )
+        if attributes:
+            source = CrowdFill(source, catalog, scan.table, attributes, crowd, lock)
+    return source
+
+
+def _equi_join_keys(
+    condition: ast.Expression, left_aliases: set[str], right_alias: str
+) -> Optional[tuple[ast.ColumnRef, str]]:
+    """Extract hash-join keys from a qualified ``a.x = b.y`` condition.
+
+    Returns ``(left_key_ref, right_key_column)`` or None when the condition
+    is not a simple two-sided equality between the accumulated left input
+    and the table being joined.
+    """
+    if not isinstance(condition, ast.BinaryOp) or condition.op != "=":
+        return None
+    left, right = condition.left, condition.right
+    if not (isinstance(left, ast.ColumnRef) and isinstance(right, ast.ColumnRef)):
+        return None
+    if left.table is None or right.table is None:
+        return None
+    right_alias = right_alias.lower()
+    if left.table.lower() in left_aliases and right.table.lower() == right_alias:
+        return left, right.name
+    if right.table.lower() in left_aliases and left.table.lower() == right_alias:
+        return right, left.name
+    return None
+
+
+def lower_select_plan(
+    plan: SelectPlan,
+    catalog: Catalog,
+    *,
+    missing_resolver: MissingResolver | None = None,
+    crowd: CrowdFillSpec | None = None,
+    lock: ContextManager[Any] | None = None,
+    hash_joins: bool = True,
+) -> Operator:
+    """Lower a logical :class:`SelectPlan` into a physical operator tree.
+
+    Must be called (and the returned tree ``open()``-ed) under the catalog
+    lock when the catalog is shared; iteration afterwards is lock-free.
+    """
+    root: Operator
+    if plan.scan is None:
+        root = SingleRow()
+    else:
+        source = _lower_scan(plan, plan.scan, catalog, crowd, lock)
+        root = Bind(source, plan.scan.alias)
+        aliases = {plan.scan.alias.lower()}
+        for join in plan.joins:
+            right = _lower_scan(plan, join.scan, catalog, crowd, lock)
+            right_columns = catalog.table(join.scan.table).schema.column_names
+            keys = None
+            if (
+                hash_joins
+                and missing_resolver is None
+                and join.kind in ("inner", "left")
+                and join.condition is not None
+            ):
+                keys = _equi_join_keys(join.condition, aliases, join.scan.alias)
+            if keys is not None:
+                left_key, right_column = keys
+                root = HashJoin(
+                    root,
+                    right,
+                    join.scan.alias,
+                    left_key,
+                    right_column,
+                    join.kind,
+                    right_columns,
+                )
+            else:
+                root = NestedLoopJoin(
+                    root,
+                    right,
+                    join.scan.alias,
+                    join.condition,
+                    join.kind,
+                    right_columns,
+                    missing_resolver,
+                )
+            aliases.add(join.scan.alias.lower())
+
+    if plan.where is not None:
+        root = Filter(root, plan.where, missing_resolver)
+
+    if plan.aggregate is not None:
+        root = Aggregate(
+            root,
+            plan.output,
+            plan.aggregate.group_by,
+            plan.aggregate.having,
+            missing_resolver,
+        )
+    else:
+        root = Project(root, plan.output, missing_resolver)
+
+    if plan.distinct:
+        root = Distinct(root)
+
+    if plan.order_by:
+        root = Sort(
+            root,
+            plan.order_by,
+            [column.name for column in plan.output],
+            plan.aggregate is not None,
+            missing_resolver,
+        )
+
+    if plan.limit is not None or plan.offset:
+        root = Limit(root, plan.limit, plan.offset or 0)
+
+    return root
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN rendering
+# ---------------------------------------------------------------------------
+
+
+def describe_operator_tree(root: Operator, *, include_stats: bool = False) -> str:
+    """Render the physical operator tree in pipeline order.
+
+    The driving pipeline reads top to bottom (scan first, sink last); the
+    build side of a join is indented beneath the join operator.  With
+    ``include_stats`` each line carries the operator's runtime counters
+    (row counts, hash-build sizes, crowd-batch statistics).
+    """
+    lines: list[str] = []
+    _render(root, lines, 0, include_stats)
+    return "\n".join(lines)
+
+
+def _render(op: Operator, lines: list[str], indent: int, stats: bool) -> None:
+    if op.children:
+        _render(op.children[0], lines, indent, stats)
+    if not op.hidden:
+        line = op.render_line()
+        if stats:
+            line += f"  [{op.stats()}]"
+        lines.append("  " * indent + line)
+    for child in op.children[1:]:
+        _render(child, lines, indent + 1, stats)

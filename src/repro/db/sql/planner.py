@@ -78,6 +78,12 @@ class SelectPlan:
     offset: Optional[int]
     distinct: bool
     referenced_columns: tuple[str, ...] = field(default=())
+    #: Every column reference as ``(alias_lowercase_or_None, name)`` pairs.
+    #: Unlike the bare ``referenced_columns`` names, these keep the table
+    #: qualifier, so lowering can decide per scanned table which columns a
+    #: query actually reads (the CrowdFill operator must never spend crowd
+    #: money on a same-named column of a table the query does not touch).
+    referenced_refs: tuple[tuple[Optional[str], str], ...] = field(default=())
 
     def describe(self) -> str:
         """Return a short EXPLAIN-style description of the plan."""
@@ -120,12 +126,46 @@ class SelectPlan:
 
 
 class Planner:
-    """Builds :class:`SelectPlan` objects for a given catalog."""
+    """Builds :class:`SelectPlan` objects for a given catalog.
+
+    Planning is split in two phases: :meth:`plan_select` produces the
+    *logical* plan (validated, catalog-independent of runtime state, safe
+    to cache per schema version), and :meth:`lower` turns a logical plan
+    into the *physical* operator tree that actually executes — access
+    paths, join strategies and crowd-fill batching are chosen there.
+    """
 
     def __init__(self, catalog: Catalog) -> None:
         self._catalog = catalog
 
     # -- public API -----------------------------------------------------------
+
+    def lower(
+        self,
+        plan: SelectPlan,
+        *,
+        missing_resolver=None,
+        crowd=None,
+        lock=None,
+        hash_joins: bool = True,
+    ):
+        """Lower a logical plan into a physical operator tree.
+
+        Thin façade over
+        :func:`repro.db.sql.operators.lower_select_plan`; see there for
+        the runtime-parameter semantics.  Must run under the catalog lock
+        when the catalog is shared.
+        """
+        from repro.db.sql.operators import lower_select_plan
+
+        return lower_select_plan(
+            plan,
+            self._catalog,
+            missing_resolver=missing_resolver,
+            crowd=crowd,
+            lock=lock,
+            hash_joins=hash_joins,
+        )
 
     def plan_select(self, statement: ast.SelectStatement) -> SelectPlan:
         """Validate *statement* against the catalog and produce a plan."""
@@ -145,7 +185,7 @@ class Planner:
 
         output = self._resolve_output(statement, alias_tables)
         aggregate = self._resolve_aggregate(statement, output)
-        referenced = self._referenced_column_names(statement)
+        referenced = self._referenced_column_refs(statement)
 
         return SelectPlan(
             scan=scan,
@@ -157,7 +197,10 @@ class Planner:
             limit=statement.limit,
             offset=statement.offset,
             distinct=statement.distinct,
-            referenced_columns=tuple(sorted(referenced)),
+            referenced_columns=tuple(sorted({name for _alias, name in referenced})),
+            referenced_refs=tuple(
+                sorted(referenced, key=lambda ref: (ref[0] or "", ref[1]))
+            ),
         )
 
     # -- helpers ---------------------------------------------------------------
@@ -343,8 +386,10 @@ class Planner:
         return AggregatePlan(group_by=statement.group_by, having=statement.having)
 
     @staticmethod
-    def _referenced_column_names(statement: ast.SelectStatement) -> set[str]:
-        names: set[str] = set()
+    def _referenced_column_refs(
+        statement: ast.SelectStatement,
+    ) -> set[tuple[Optional[str], str]]:
+        refs: set[tuple[Optional[str], str]] = set()
         expressions: list[ast.Expression] = []
         if statement.where is not None:
             expressions.append(statement.where)
@@ -357,5 +402,6 @@ class Planner:
         for order_item in statement.order_by:
             expressions.append(order_item.expression)
         for expression in expressions:
-            names.update(ref.name for ref in ast.referenced_columns(expression))
-        return names
+            for ref in ast.referenced_columns(expression):
+                refs.add((ref.table.lower() if ref.table else None, ref.name))
+        return refs

@@ -152,6 +152,18 @@ class TableStorage:
         """Yield ``(rowid, row)`` pairs in insertion order."""
         yield from self._rows.items()
 
+    def snapshot(self) -> list[tuple[int, Row]]:
+        """Return a point-in-time list of ``(rowid, row)`` pairs.
+
+        The list itself is a snapshot (later inserts/deletes do not change
+        it) but the row dictionaries are the *live* rows — callers that
+        evaluate outside the catalog lock must copy each row before use.
+        This is the scan operators' access path: the O(n) pointer copy
+        happens under the lock, the per-row ``dict`` copies happen lazily
+        as rows are pulled, so a LIMIT can stop them early.
+        """
+        return list(self._rows.items())
+
     def rows(self) -> list[Row]:
         """Return a list of copies of all rows (insertion order)."""
         return [dict(row) for row in self._rows.values()]

@@ -1,0 +1,71 @@
+"""Tests for the batched crowd-platform value source (query-engine bridge)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.sources import SimulatedCrowdValueSource
+from repro.crowd.worker import WorkerPool
+from repro.db import connect
+
+
+@pytest.fixture
+def truth() -> dict[int, bool]:
+    return {i: i % 3 == 0 for i in range(1, 21)}
+
+
+@pytest.fixture
+def source(truth) -> SimulatedCrowdValueSource:
+    return SimulatedCrowdValueSource(
+        CrowdPlatform(seed=11),
+        WorkerPool.build(n_honest=15, n_spammers=0, seed=3),
+        truth={"is_comedy": truth},
+        key_column="item_id",
+        judgments_per_item=5,
+        items_per_hit=10,
+    )
+
+
+class TestRequestValues:
+    def test_one_dispatch_per_batch(self, source):
+        items = [(rowid, {"item_id": rowid}) for rowid in range(1, 11)]
+        values = source.request_values("is_comedy", items)
+        assert source.dispatches == 1
+        assert source.total_cost > 0
+        assert source.total_judgments >= len(values)
+        assert all(isinstance(v, bool) for v in values.values())
+
+    def test_rows_without_key_are_skipped(self, source):
+        items = [(1, {"item_id": 1}), (2, {"item_id": None}), (3, {})]
+        values = source.request_values("is_comedy", items)
+        assert set(values) <= {1}
+
+    def test_empty_batch_dispatches_nothing(self, source):
+        assert source.request_values("is_comedy", [(5, {"item_id": None})]) == {}
+        assert source.dispatches == 0
+
+
+class TestQueryIntegration:
+    def test_expansion_query_dispatches_coalesced_hit_groups(self, source, truth):
+        conn = connect()
+        conn.execute("CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT)")
+        conn.executemany(
+            "INSERT INTO movies (item_id, name) VALUES (?, ?)",
+            [(i, f"movie-{i}") for i in range(1, 21)],
+        )
+        conn.add_perceptual_column("movies", "is_comedy")
+        conn.set_value_source(source, batch_size=10)
+
+        (count,) = conn.execute(
+            "SELECT count(*) FROM movies WHERE is_comedy = ?", (True,)
+        ).fetchone()
+        # 20 missing rows, batch_size 10 -> exactly 2 platform calls,
+        # never one HIT dispatch per row.
+        assert source.dispatches == 2
+        # honest workers with majority vote recover most of the truth
+        assert 0 < count <= 20
+        filled = 20 - conn.missing_count("movies", "is_comedy")
+        assert filled >= 15
+        text = conn.explain_analyze("SELECT count(*) FROM movies WHERE is_comedy = true")
+        assert "CrowdFill(batch_size=10)" in text

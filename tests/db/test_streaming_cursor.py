@@ -1,0 +1,156 @@
+"""Tests for streaming cursor semantics over the live operator tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Connection, connect
+from repro.db.sql.operators import SeqScan
+from repro.errors import ExecutionError
+
+N_ROWS = 100
+
+
+@pytest.fixture
+def conn() -> Connection:
+    connection = connect()
+    connection.execute("CREATE TABLE numbers (n INTEGER PRIMARY KEY, v INTEGER)")
+    connection.executemany(
+        "INSERT INTO numbers (n, v) VALUES (?, ?)", [(i, i) for i in range(1, N_ROWS + 1)]
+    )
+    return connection
+
+
+def scan_of(cursor) -> SeqScan:
+    return next(op for op in cursor.plan.walk() if isinstance(op, SeqScan))
+
+
+class TestInterleavedFetching:
+    def test_fetchone_fetchmany_iteration_interleave(self, conn):
+        cursor = conn.execute("SELECT n FROM numbers ORDER BY n")
+        assert cursor.fetchone() == (1,)
+        assert cursor.fetchmany(3) == [(2,), (3,), (4,)]
+        assert next(cursor) == (5,)
+        assert cursor.fetchmany() == [(6,)]  # arraysize default is 1
+        rest = cursor.fetchall()
+        assert rest[0] == (7,)
+        assert rest[-1] == (N_ROWS,)
+        assert cursor.fetchone() is None
+        assert cursor.fetchall() == []
+
+    def test_arraysize_defaults_and_override(self, conn):
+        cursor = conn.execute("SELECT n FROM numbers")
+        assert cursor.arraysize == 1
+        assert len(cursor.fetchmany()) == 1
+        cursor.arraysize = 10
+        assert len(cursor.fetchmany()) == 10
+        assert len(cursor.fetchmany(5)) == 5
+
+    def test_iteration_protocol_streams_everything(self, conn):
+        cursor = conn.execute("SELECT v FROM numbers")
+        assert sum(v for (v,) in cursor) == sum(range(1, N_ROWS + 1))
+
+    def test_rowcount_drains_but_preserves_fetch_position(self, conn):
+        cursor = conn.execute("SELECT n FROM numbers")
+        assert cursor.rowcount == N_ROWS
+        assert cursor.fetchone() == (1,)
+
+    def test_result_property_interleaves_with_fetching(self, conn):
+        cursor = conn.execute("SELECT n FROM numbers")
+        assert cursor.fetchone() == (1,)
+        result = cursor.result
+        assert result.rowcount == N_ROWS
+        assert result.columns == ["n"]
+        # fetching continues where it left off
+        assert cursor.fetchone() == (2,)
+
+
+class TestLazyExecution:
+    def test_limit_stops_pulling_from_scan_early(self, conn):
+        cursor = conn.execute("SELECT v FROM numbers LIMIT 5")
+        assert len(cursor.fetchall()) == 5
+        assert scan_of(cursor).rows_scanned == 5
+
+    def test_fetchone_pulls_incrementally(self, conn):
+        cursor = conn.execute("SELECT v FROM numbers")
+        assert scan_of(cursor).rows_scanned == 0  # nothing pulled yet
+        cursor.fetchone()
+        assert scan_of(cursor).rows_scanned == 1
+        cursor.fetchmany(10)
+        assert scan_of(cursor).rows_scanned == 11
+
+    def test_filtered_limit_scans_only_what_it_needs(self, conn):
+        cursor = conn.execute("SELECT v FROM numbers WHERE v % 2 = 0 LIMIT 3")
+        assert cursor.fetchall() == [(2,), (4,), (6,)]
+        assert scan_of(cursor).rows_scanned == 6
+
+    def test_full_scan_without_limit_reads_all_rows(self, conn):
+        cursor = conn.execute("SELECT v FROM numbers")
+        cursor.fetchall()
+        assert scan_of(cursor).rows_scanned == N_ROWS
+
+    def test_order_by_limit_must_still_scan_everything(self, conn):
+        # Sort is a blocking operator: LIMIT cannot cut the scan short.
+        cursor = conn.execute("SELECT v FROM numbers ORDER BY v DESC LIMIT 1")
+        assert cursor.fetchall() == [(N_ROWS,)]
+        assert scan_of(cursor).rows_scanned == N_ROWS
+
+    def test_limit_offset_streams_correct_window(self, conn):
+        cursor = conn.execute("SELECT n FROM numbers LIMIT 3 OFFSET 10")
+        assert cursor.fetchall() == [(11,), (12,), (13,)]
+        assert scan_of(cursor).rows_scanned == 13
+
+    def test_snapshot_taken_at_execute_time(self, conn):
+        cursor = conn.execute("SELECT count(*) FROM numbers")
+        conn.execute("INSERT INTO numbers (n, v) VALUES (?, ?)", (N_ROWS + 1, 0))
+        # the count reflects the table as of execute(), not fetch time
+        assert cursor.fetchone() == (N_ROWS,)
+
+
+class TestCursorLifecycle:
+    def test_close_mid_stream_abandons_rest(self, conn):
+        cursor = conn.execute("SELECT n FROM numbers")
+        assert cursor.fetchmany(2) == [(1,), (2,)]
+        scan = scan_of(cursor)
+        cursor.close()
+        assert scan.rows_scanned == 2  # nothing more was pulled
+        with pytest.raises(ExecutionError):
+            cursor.fetchone()
+        with pytest.raises(ExecutionError):
+            cursor.execute("SELECT 1")
+
+    def test_new_execute_discards_previous_stream(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT n FROM numbers")
+        cursor.fetchone()
+        cursor.execute("SELECT n FROM numbers WHERE n > ?", (50,))
+        assert cursor.fetchone() == (51,)
+
+    def test_failed_execute_mid_stream_clears_rows(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT n FROM numbers")
+        cursor.fetchone()
+        with pytest.raises(Exception):
+            cursor.execute("SELECT nonexistent FROM numbers")
+        with pytest.raises(ExecutionError):
+            cursor.fetchone()
+
+    def test_description_available_before_first_fetch(self, conn):
+        cursor = conn.execute("SELECT n, v AS val FROM numbers")
+        assert [d[0] for d in cursor.description] == ["n", "val"]
+        assert scan_of(cursor).rows_scanned == 0
+
+    def test_expansion_triggers_at_execute_not_fetch(self, conn):
+        calls = []
+
+        def handler(table: str, column: str) -> bool:
+            calls.append((table, column))
+            conn.add_perceptual_column(table, column)
+            storage = conn.table(table)
+            storage.fill_values(column, {rowid: 1.0 for rowid in storage.rowids()})
+            return True
+
+        conn.set_expansion_handler(handler)
+        cursor = conn.cursor().execute("SELECT n FROM numbers WHERE shiny > 0.5")
+        assert calls == [("numbers", "shiny")]  # before any fetch
+        assert cursor.rowcount == N_ROWS
