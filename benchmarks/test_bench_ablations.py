@@ -18,7 +18,12 @@ import time
 import numpy as np
 
 from repro.core.extractor import PerceptualAttributeExtractor
+from repro.core.prediction import PerceptualPredictor
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.sources import SimulatedCrowdValueSource
+from repro.crowd.worker import WorkerPool
 from repro.db import Catalog, Connection
+from repro.db.types import is_missing
 from repro.experiments.context import build_perceptual_space
 from repro.learn.metrics import g_mean
 from repro.learn.model_selection import sample_balanced_training_set
@@ -195,6 +200,96 @@ def test_ablation_operator_algebra(report_writer):
                 ("rows scanned for full scan", f"{full_scanned} / {n_big}"),
             ],
             title="Ablation: physical operator algebra",
+        ),
+    )
+
+
+def test_ablation_hybrid_acquisition(movie_context, report_writer):
+    """Hybrid crowd+predict acquisition vs. exhaustive crowd-only acquisition.
+
+    The paper's central cost argument: crowd-source a small sample of the
+    attribute and let the perceptual-space model predict the rest.  Both
+    strategies answer the same query over the movies workload; the hybrid
+    plan must save at least 3x the crowd platform calls while its answer
+    quality stays within the tolerance below of the crowd-only baseline.
+    """
+    labels = movie_context.reference_labels("Comedy")
+    batch_size = 25
+
+    def run(hybrid: bool):
+        catalog = Catalog()
+        conn = Connection(catalog)
+        conn.execute(
+            "CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT, year INTEGER)"
+        )
+        conn.executemany(
+            "INSERT INTO movies (item_id, name, year) VALUES (?, ?, ?)",
+            [
+                (record["item_id"], record["name"], record["year"])
+                for record in movie_context.corpus.items
+            ],
+        )
+        conn.add_perceptual_column("movies", "is_comedy")
+        source = SimulatedCrowdValueSource(
+            CrowdPlatform(seed=7),
+            WorkerPool.build(n_experts=40, seed=5),
+            truth={"is_comedy": labels},
+            judgments_per_item=3,
+            items_per_hit=10,
+            seed=13,
+        )
+        conn.set_value_source(source, batch_size=batch_size)
+        if hybrid:
+            conn.set_predictor(
+                PerceptualPredictor(movie_context.space, seed=0), sample_fraction=0.25
+            )
+        (comedies,) = conn.execute(
+            "SELECT count(*) FROM movies WHERE is_comedy = true"
+        ).fetchone()
+        values = conn.column_values("movies", "is_comedy")
+        keyed = {
+            row["item_id"]: values[rowid]
+            for rowid, row in ((r, catalog.table("movies").get(r)) for r in values)
+        }
+        scored = [
+            (bool(keyed[item]), bool(labels[item]))
+            for item in keyed
+            if item in labels and not is_missing(keyed[item])
+        ]
+        accuracy = sum(p == t for p, t in scored) / len(scored)
+        return source.dispatches, accuracy, comedies, len(scored)
+
+    crowd_calls, crowd_accuracy, crowd_count, crowd_filled = run(hybrid=False)
+    hybrid_calls, hybrid_accuracy, hybrid_count, hybrid_filled = run(hybrid=True)
+
+    assert crowd_calls >= 3 * hybrid_calls, (
+        f"hybrid acquisition should save >=3x platform calls: "
+        f"crowd-only {crowd_calls} vs hybrid {hybrid_calls}"
+    )
+    # Paper-style tolerance: predicting from a 25% sample may cost some
+    # accuracy versus asking a human for every tuple, but the prediction
+    # must stay clearly better than chance and near the crowd baseline.
+    assert hybrid_accuracy >= crowd_accuracy - 0.3
+    assert hybrid_accuracy >= 0.65
+    # The hybrid plan answers every cell the space covers.
+    assert hybrid_filled >= crowd_filled
+
+    report_writer(
+        "ablation_hybrid_acquisition",
+        format_table(
+            ["quantity", "crowd-only", "hybrid"],
+            [
+                ("platform calls", crowd_calls, hybrid_calls),
+                ("cells answered", crowd_filled, hybrid_filled),
+                ("accuracy vs reference", f"{crowd_accuracy:.3f}", f"{hybrid_accuracy:.3f}"),
+                ("comedies found", crowd_count, hybrid_count),
+                (
+                    "calls saved",
+                    "-",
+                    f"{crowd_calls - hybrid_calls} ({crowd_calls / hybrid_calls:.1f}x)",
+                ),
+            ],
+            title="Ablation: hybrid crowd+predict acquisition (movies workload)",
         ),
     )
 

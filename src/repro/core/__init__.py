@@ -17,6 +17,7 @@ The same machinery powers the identification of questionable HIT responses
 from repro.core.extractor import ExtractionResult, PerceptualAttributeExtractor
 from repro.core.gold_sample import GoldSample, GoldSampleCollector
 from repro.core.ledger import ExpansionLedger
+from repro.core.prediction import PerceptualPredictor
 from repro.core.policies import (
     DirectCrowdPolicy,
     ExpansionPolicy,
@@ -37,6 +38,7 @@ __all__ = [
     "GoldSampleCollector",
     "HybridPolicy",
     "PerceptualAttributeExtractor",
+    "PerceptualPredictor",
     "PerceptualSpacePolicy",
     "QualityFlag",
     "QuestionableResponseDetector",

@@ -133,15 +133,22 @@ class CrowdPlatform:
         quality_control: QualityControl | None = None,
         truth: Mapping[int, bool] | None = None,
         max_minutes: float = 24 * 60.0,
+        seed: RandomState = None,
     ) -> CrowdRunResult:
         """Dispatch *group* to *pool* and simulate until completion.
 
         *truth* maps item ids to their true boolean label; it drives the
         simulated worker cognition (a real platform would not know it).
         Items missing from *truth* are treated as negatives.
+
+        An explicit *seed* overrides the platform's own seed for this one
+        dispatch; callers issuing many dispatches (e.g. the batched value
+        source) derive an independent child seed per call so repeated runs
+        are deterministic and batches are not correlated.
         """
         quality_control = quality_control or QualityControl.none()
-        rng = spawn_rng(self._seed, "platform", group.question.attribute, len(pool))
+        run_seed = seed if seed is not None else self._seed
+        rng = spawn_rng(run_seed, "platform", group.question.attribute, len(pool))
         truth = dict(truth or {})
 
         try:

@@ -21,6 +21,7 @@ from repro.crowd.platform import CrowdPlatform, CrowdRunResult
 from repro.crowd.quality_control import QualityControl
 from repro.crowd.worker import WorkerPool
 from repro.db.types import is_missing
+from repro.utils.rng import RandomState, derive_seed
 
 __all__ = ["SimulatedCrowdValueSource"]
 
@@ -43,6 +44,13 @@ class SimulatedCrowdValueSource:
         HIT group shape; forwarded to :class:`~repro.crowd.hit.HITGroup`.
     quality_control:
         Optional quality-control policy applied to every dispatch.
+    seed:
+        Optional explicit seed (or generator) for the simulated platform
+        runs.  Each dispatch derives an independent child seed from it (by
+        attribute and dispatch ordinal), so a seeded source is fully
+        deterministic across runs while successive batches stay
+        uncorrelated.  Without it the platform's own seed governs, which
+        reuses one stream per attribute.
 
     Statistics
     ----------
@@ -65,9 +73,11 @@ class SimulatedCrowdValueSource:
         payment_per_hit: float = 0.02,
         quality_control: QualityControl | None = None,
         prompt: str = "",
+        seed: RandomState = None,
     ) -> None:
         self._platform = platform
         self._pool = pool
+        self._seed = seed
         self._truth = {attr: dict(values) for attr, values in truth.items()}
         self.key_column = key_column
         self.judgments_per_item = judgments_per_item
@@ -106,11 +116,17 @@ class SimulatedCrowdValueSource:
             items_per_hit=self.items_per_hit,
             payment_per_hit=self.payment_per_hit,
         )
+        dispatch_seed = (
+            derive_seed(self._seed, attribute, self.dispatches)
+            if self._seed is not None
+            else None
+        )
         result = self._platform.run_group(
             group,
             self._pool,
             quality_control=self._quality_control,
             truth=self._truth.get(attribute, {}),
+            seed=dispatch_seed,
         )
         self.dispatches += 1
         self.total_cost += result.total_cost

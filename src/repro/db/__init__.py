@@ -12,6 +12,14 @@ The legacy :class:`~repro.db.database.CrowdDatabase` facade remains as a
 deprecated shim over the connection API.
 """
 
+from repro.db.acquisition import (
+    AcquisitionPolicy,
+    AttributePredictor,
+    PredictionBatch,
+    PredictSpec,
+    SamplePlan,
+    plan_sample,
+)
 from repro.db.catalog import Catalog
 from repro.db.connection import (
     CacheStats,
@@ -27,11 +35,13 @@ from repro.db.database import CrowdDatabase
 from repro.db.schema import AttributeKind, Column, ColumnType, TableSchema
 from repro.db.sql.executor import QueryResult, SelectStream
 from repro.db.sql.operators import CrowdFillSpec, Operator
-from repro.db.storage import Row, TableStorage
+from repro.db.storage import Row, TableStorage, ValueProvenance
 from repro.db.types import MISSING, Missing, coerce_value, is_missing
 
 __all__ = [
+    "AcquisitionPolicy",
     "AttributeKind",
+    "AttributePredictor",
     "CacheStats",
     "Catalog",
     "Column",
@@ -44,15 +54,20 @@ __all__ = [
     "MISSING",
     "Missing",
     "Operator",
+    "PredictSpec",
+    "PredictionBatch",
     "QueryResult",
     "Row",
+    "SamplePlan",
     "SelectStream",
     "SessionContext",
     "StatementCache",
     "TableSchema",
     "TableStorage",
+    "ValueProvenance",
     "ValueSource",
     "coerce_value",
     "connect",
     "is_missing",
+    "plan_sample",
 ]

@@ -1,0 +1,305 @@
+"""Hybrid crowd+predict acquisition: cost model and sampling policy.
+
+The paper's headline result is that query-driven schema expansion becomes
+affordable only when the crowd provides a *small sample* of attribute
+values and a perceptual-space model predicts the rest.  This module holds
+the planner-side machinery for that trade-off:
+
+* :class:`AcquisitionPolicy` — the session knobs (sample fraction, minimum
+  confidence for keeping predicted values, predict-vs-crowd cost ratio);
+* :func:`plan_sample` — given the MISSING cells of one attribute, decide
+  how many (and which) rows the crowd should answer and how many the
+  predictor fills, respecting the session budget (a *cost-based* choice:
+  when predicting is not cheaper than asking, the plan degenerates to
+  crowd-only);
+* :class:`PredictSpec` — the runtime bundle (predictor + policy) that the
+  lowering turns into a :class:`~repro.db.sql.operators.PredictFill`
+  operator on top of :class:`~repro.db.sql.operators.CrowdFill`;
+* the :class:`AttributePredictor` protocol that decouples the query engine
+  from the concrete perceptual-space models (see
+  :class:`repro.core.prediction.PerceptualPredictor`).
+
+Everything here is deterministic: the coverage-driven sample is chosen by
+evenly spacing picks over the ordered candidate rowids, so the same table
+state always produces the same acquisition plan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Protocol, Sequence
+
+from repro.errors import ExecutionError
+
+#: Provenance tags recorded for acquired cells.
+PROVENANCE_STORED = "stored"
+PROVENANCE_CROWD = "crowd"
+PROVENANCE_PREDICTED = "predicted"
+
+
+# ---------------------------------------------------------------------------
+# Policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AcquisitionPolicy:
+    """Session knobs steering the hybrid crowd+predict acquisition.
+
+    Parameters
+    ----------
+    sample_fraction:
+        Fraction of acquisition candidates the crowd should answer; the
+        predictor fills the rest.
+    min_sample:
+        Lower bound on the crowd sample (a predictor cannot train on two
+        rows).  Attributes with at most this many candidates are acquired
+        entirely from the crowd — hybrid acquisition never pays off there.
+    max_sample:
+        Optional upper bound on the crowd sample per attribute per query.
+    min_confidence:
+        Predicted cells stored with a confidence below this threshold are
+        treated as acquisition candidates again by later queries (the
+        crowd re-answers them).  0 disables re-acquisition.
+    cost_ratio:
+        Marginal cost of one predicted value relative to one crowd-sourced
+        value (CPU vs. payment).  When the ratio reaches 1 the cost model
+        concludes predicting saves nothing and plans crowd-only
+        acquisition.
+    crowd_cost_per_value:
+        Estimated platform cost of one crowd-sourced value, used to cap
+        the sample by the session's remaining budget.
+    """
+
+    sample_fraction: float = 0.25
+    min_sample: int = 10
+    max_sample: int | None = None
+    min_confidence: float = 0.0
+    cost_ratio: float = 0.05
+    crowd_cost_per_value: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sample_fraction <= 1.0:
+            raise ExecutionError("sample_fraction must be in (0, 1]")
+        if self.min_sample < 1:
+            raise ExecutionError("min_sample must be at least 1")
+        if self.max_sample is not None and self.max_sample < self.min_sample:
+            raise ExecutionError("max_sample must be >= min_sample")
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise ExecutionError("min_confidence must be in [0, 1]")
+        if self.cost_ratio < 0.0:
+            raise ExecutionError("cost_ratio must be non-negative")
+        if self.crowd_cost_per_value <= 0.0:
+            raise ExecutionError("crowd_cost_per_value must be positive")
+
+    def with_overrides(self, **changes: Any) -> "AcquisitionPolicy":
+        """Return a copy of the policy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+# ---------------------------------------------------------------------------
+# Sample plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SamplePlan:
+    """The planner's acquisition decision for one attribute of one query.
+
+    ``candidate_rowids`` are the cells that need a value (MISSING plus any
+    low-confidence predicted cells up for re-acquisition);
+    ``sample_rowids`` is the subset the crowd answers.  Whatever the crowd
+    does not cover is left to the predictor.
+    """
+
+    attribute: str
+    candidate_rowids: tuple[int, ...]
+    sample_rowids: frozenset[int] = field(default_factory=frozenset)
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of cells that need a value."""
+        return len(self.candidate_rowids)
+
+    @property
+    def sample_size(self) -> int:
+        """Number of cells the crowd answers."""
+        return len(self.sample_rowids)
+
+    @property
+    def predicted_count(self) -> int:
+        """Number of cells left to the predictor."""
+        return self.n_candidates - self.sample_size
+
+    def crowd_calls_saved(self, batch_size: int) -> int:
+        """Platform calls a crowd-only plan would have needed extra.
+
+        Crowd-only acquisition dispatches ``ceil(candidates / batch_size)``
+        platform calls for this attribute; the hybrid plan dispatches only
+        ``ceil(sample / batch_size)``.
+        """
+        if batch_size <= 0:
+            raise ExecutionError(f"batch_size must be positive, got {batch_size}")
+        all_calls = math.ceil(self.n_candidates / batch_size)
+        sampled_calls = math.ceil(self.sample_size / batch_size)
+        return max(0, all_calls - sampled_calls)
+
+    def estimated_cost(self, policy: AcquisitionPolicy) -> float:
+        """Estimated acquisition cost of this plan under *policy*."""
+        crowd = self.sample_size * policy.crowd_cost_per_value
+        predicted = self.predicted_count * policy.crowd_cost_per_value * policy.cost_ratio
+        return crowd + predicted
+
+
+def choose_sample_size(
+    n_candidates: int,
+    policy: AcquisitionPolicy,
+    *,
+    budget: float | None = None,
+) -> int:
+    """Pick how many of *n_candidates* cells the crowd should answer.
+
+    The choice is cost-based: the fraction-derived sample (clamped to
+    ``[min_sample, max_sample]``) is compared against crowd-only
+    acquisition under the policy's cost model, and the cheaper plan wins.
+    A remaining session *budget* (dollars) caps the sample from above;
+    coverage is monotone in the budget.
+    """
+    if n_candidates <= 0:
+        return 0
+    if n_candidates <= policy.min_sample:
+        size = n_candidates
+    else:
+        size = max(policy.min_sample, math.ceil(policy.sample_fraction * n_candidates))
+        if policy.max_sample is not None:
+            size = min(size, policy.max_sample)
+        size = min(size, n_candidates)
+        if size < n_candidates:
+            hybrid = SamplePlan(
+                "", tuple(range(n_candidates)), frozenset(range(size))
+            ).estimated_cost(policy)
+            crowd_only = n_candidates * policy.crowd_cost_per_value
+            if hybrid >= crowd_only:
+                # Predicting is not cheaper than asking: crowd-only.
+                size = n_candidates
+    if budget is not None:
+        affordable = int(max(0.0, budget) // policy.crowd_cost_per_value)
+        size = min(size, affordable)
+    return size
+
+
+def select_sample(candidate_rowids: Iterable[int], size: int) -> frozenset[int]:
+    """Deterministic, coverage-driven pick of *size* candidate rowids.
+
+    Picks are evenly spaced over the *sorted* candidates, so the sample
+    spreads across the whole table (insertion order usually correlates
+    with data locality) instead of clustering at the start of the scan.
+    The same candidates and size always yield the same sample.
+    """
+    ordered = sorted(set(candidate_rowids))
+    if size <= 0:
+        return frozenset()
+    if size >= len(ordered):
+        return frozenset(ordered)
+    step = len(ordered) / size
+    picks = {ordered[min(len(ordered) - 1, int(i * step + step / 2))] for i in range(size)}
+    for rowid in ordered:  # top up if rounding ever collides
+        if len(picks) >= size:
+            break
+        picks.add(rowid)
+    return frozenset(picks)
+
+
+def plan_sample(
+    attribute: str,
+    candidate_rowids: Iterable[int],
+    policy: AcquisitionPolicy,
+    *,
+    budget: float | None = None,
+    can_acquire: bool = True,
+) -> SamplePlan:
+    """Build the :class:`SamplePlan` for one attribute.
+
+    With ``can_acquire=False`` (no crowd value source configured) the plan
+    leaves everything to the predictor.
+    """
+    candidates = tuple(sorted(set(candidate_rowids)))
+    if not can_acquire:
+        return SamplePlan(attribute, candidates, frozenset())
+    size = choose_sample_size(len(candidates), policy, budget=budget)
+    return SamplePlan(attribute, candidates, select_sample(candidates, size))
+
+
+# ---------------------------------------------------------------------------
+# Predictor protocol
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PredictionBatch:
+    """What an :class:`AttributePredictor` returns for one attribute.
+
+    ``values`` maps rowids to predicted values, ``confidences`` to a
+    per-value confidence in ``[0, 1]`` (used for re-acquisition), ``rmse``
+    is the model's training error (root-mean-square; boolean labels are
+    scored as 0/1), and ``model_kind`` names the model that produced the
+    predictions (``svr-rbf``, ``svc-rbf``, ``tsvm-rbf`` …).
+    """
+
+    values: dict[int, Any] = field(default_factory=dict)
+    confidences: dict[int, float] = field(default_factory=dict)
+    model_kind: str = "none"
+    rmse: float | None = None
+    training_size: int = 0
+
+    def confidence_for(self, rowid: int, default: float = 0.5) -> float:
+        """Confidence recorded for *rowid* (``default`` when absent)."""
+        return float(self.confidences.get(rowid, default))
+
+
+class AttributePredictor(Protocol):
+    """Anything that can learn an attribute from examples and predict it.
+
+    Implementations live outside :mod:`repro.db` (the perceptual-space
+    predictor is :class:`repro.core.prediction.PerceptualPredictor`); the
+    engine only relies on this narrow protocol.
+    """
+
+    def fit_predict(
+        self,
+        attribute: str,
+        train: Sequence[tuple[int, dict[str, Any], Any]],
+        targets: Sequence[tuple[int, dict[str, Any]]],
+    ) -> PredictionBatch:
+        """Train on ``(rowid, row, value)`` examples, predict for *targets*.
+
+        May return fewer predictions than targets (e.g. rows whose item is
+        unknown to the perceptual space) — uncovered cells stay MISSING.
+        An implementation that cannot train (too few examples, one class
+        only) should return an empty batch rather than raise.
+        """
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class PredictSpec:
+    """How a query should predict MISSING crowd-sourced values.
+
+    The lowering turns this into a
+    :class:`~repro.db.sql.operators.PredictFill` operator above the
+    table's :class:`~repro.db.sql.operators.CrowdFill`: the crowd answers
+    the planner-chosen sample, the predictor trains on every known value
+    streaming by and fills the rest, tagging provenance and confidence.
+    """
+
+    predictor: AttributePredictor
+    policy: AcquisitionPolicy = field(default_factory=AcquisitionPolicy)
+    write_back: bool = True
+    session: Any = None
+
+    def remaining_budget(self) -> float | None:
+        """Money the session may still spend (None = unlimited)."""
+        if self.session is None:
+            return None
+        return getattr(self.session, "remaining_budget", None)

@@ -32,6 +32,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
+from repro.db.acquisition import AcquisitionPolicy, AttributePredictor, PredictSpec
 from repro.db.catalog import Catalog
 from repro.db.schema import AttributeKind, Column, TableSchema
 from repro.db.sql import ast
@@ -41,7 +42,7 @@ from repro.db.sql.operators import CrowdFillSpec, Operator
 from repro.db.sql.parameters import bind_select_plan, bind_statement, check_arity, count_parameters
 from repro.db.sql.parser import parse_script, parse_statement
 from repro.db.sql.planner import Planner, SelectPlan
-from repro.db.storage import TableStorage
+from repro.db.storage import TableStorage, ValueProvenance
 from repro.db.types import MISSING, ColumnType
 from repro.errors import ExecutionError, UnknownColumnError
 
@@ -111,6 +112,18 @@ class SessionContext:
     crowd_write_back:
         Whether batch-obtained values are persisted to storage so later
         queries need no further crowd work (default True).
+    predictor:
+        Optional :class:`~repro.db.acquisition.AttributePredictor` (e.g. a
+        :class:`~repro.core.prediction.PerceptualPredictor`).  When set
+        together with a ``value_source``, queries touching crowd-sourced
+        columns lower to the *hybrid* two-stage plan: ``CrowdFill``
+        acquires only a planner-chosen sample and ``PredictFill`` trains
+        the predictor on the crowd answers and fills the remaining rows
+        with predictions (provenance- and confidence-tagged in storage).
+    acquisition:
+        The :class:`~repro.db.acquisition.AcquisitionPolicy` steering the
+        hybrid plan (sample fraction, min confidence, predict-vs-crowd
+        cost ratio).  Defaults to the policy's defaults.
     """
 
     def __init__(
@@ -123,6 +136,8 @@ class SessionContext:
         value_source: Any = None,
         crowd_batch_size: int = 50,
         crowd_write_back: bool = True,
+        predictor: AttributePredictor | None = None,
+        acquisition: AcquisitionPolicy | None = None,
     ) -> None:
         self.missing_resolver = missing_resolver
         self.expansion_handler = expansion_handler
@@ -132,6 +147,8 @@ class SessionContext:
         self.value_source = value_source
         self.crowd_batch_size = _validate_batch_size(crowd_batch_size)
         self.crowd_write_back = crowd_write_back
+        self.predictor = predictor
+        self.acquisition = acquisition if acquisition is not None else AcquisitionPolicy()
 
     def crowd_spec(self) -> CrowdFillSpec | None:
         """The batch crowd-fill configuration, or None when not set up.
@@ -145,6 +162,17 @@ class SessionContext:
         return CrowdFillSpec(
             source=self.value_source,
             batch_size=self.crowd_batch_size,
+            write_back=self.crowd_write_back,
+            session=self,
+        )
+
+    def predict_spec(self) -> PredictSpec | None:
+        """The prediction-stage configuration, or None when no predictor."""
+        if self.predictor is None:
+            return None
+        return PredictSpec(
+            predictor=self.predictor,
+            policy=self.acquisition,
             write_back=self.crowd_write_back,
             session=self,
         )
@@ -584,6 +612,39 @@ class Connection:
         if batch_size is not None:
             self.session.crowd_batch_size = _validate_batch_size(batch_size)
 
+    def set_predictor(
+        self,
+        predictor: AttributePredictor | None,
+        *,
+        policy: AcquisitionPolicy | None = None,
+        sample_fraction: float | None = None,
+        min_confidence: float | None = None,
+        cost_ratio: float | None = None,
+    ) -> None:
+        """Install (or remove) the session's hybrid-acquisition predictor.
+
+        Together with a batch value source this turns crowd acquisition
+        hybrid: ``CrowdFill`` asks the crowd for a planner-chosen sample,
+        ``PredictFill`` predicts the rest from perceptual-space features.
+        The keyword knobs override single fields of the session's
+        :class:`~repro.db.acquisition.AcquisitionPolicy` (*policy*
+        replaces it wholesale).
+        """
+        self.session.predictor = predictor
+        if policy is not None:
+            self.session.acquisition = policy
+        overrides = {
+            name: value
+            for name, value in (
+                ("sample_fraction", sample_fraction),
+                ("min_confidence", min_confidence),
+                ("cost_ratio", cost_ratio),
+            )
+            if value is not None
+        }
+        if overrides:
+            self.session.acquisition = self.session.acquisition.with_overrides(**overrides)
+
     def expansion(self) -> "ExpansionPipeline":
         """Start a fluent :class:`~repro.core.schema_expansion.ExpansionPipeline`.
 
@@ -715,12 +776,14 @@ class Connection:
                     bound_plan,
                     missing_resolver=self.session.missing_resolver,
                     crowd=self.session.crowd_spec(),
+                    predict=self.session.predict_spec(),
                     lock=self.catalog.lock,
                 )
             return self._executor.execute_select_plan(
                 bound_plan,
                 missing_resolver=self.session.missing_resolver,
                 crowd=self.session.crowd_spec(),
+                predict=self.session.predict_spec(),
                 explain=explain,
                 lock=self.catalog.lock,
             )
@@ -733,6 +796,7 @@ class Connection:
             statement,
             missing_resolver=self.session.missing_resolver,
             crowd=self.session.crowd_spec(),
+            predict=self.session.predict_spec(),
             explain=explain,
             lock=self.catalog.lock,
         )
@@ -752,6 +816,7 @@ class Connection:
                 statement,
                 missing_resolver=self.session.missing_resolver,
                 crowd=self.session.crowd_spec(),
+                predict=self.session.predict_spec(),
                 lock=self.catalog.lock,
             ),
             is_select=isinstance(statement, ast.SelectStatement),
@@ -798,6 +863,7 @@ class Connection:
                 plan,
                 missing_resolver=self.session.missing_resolver,
                 crowd=self.session.crowd_spec(),
+                predict=self.session.predict_spec(),
             )
 
     def explain_analyze(self, sql: str, params: Sequence[Any] = ()) -> str:
@@ -876,6 +942,18 @@ class Connection:
         """Number of MISSING cells in ``table_name.column_name``."""
         with self.catalog.lock:
             return len(self.catalog.table(table_name).missing_rowids(column_name))
+
+    def value_provenance(
+        self, table_name: str, column_name: str
+    ) -> dict[int, ValueProvenance]:
+        """``rowid -> ValueProvenance`` for the non-stored cells of a column."""
+        with self.catalog.lock:
+            return self.catalog.table(table_name).provenance_map(column_name)
+
+    def provenance_counts(self, table_name: str, column_name: str) -> dict[str, int]:
+        """Histogram of value provenance (stored/crowd/predicted) of a column."""
+        with self.catalog.lock:
+            return self.catalog.table(table_name).provenance_counts(column_name)
 
     def __repr__(self) -> str:
         tables = ", ".join(self.table_names()) or "<empty>"

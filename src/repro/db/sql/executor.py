@@ -23,6 +23,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, ContextManager, Iterator
 
+from repro.db.acquisition import PredictSpec
 from repro.db.catalog import Catalog
 from repro.db.schema import AttributeKind, Column, TableSchema
 from repro.db.sql import ast
@@ -226,6 +227,7 @@ class Executor:
         *,
         missing_resolver: MissingResolver | None = None,
         crowd: CrowdFillSpec | None = None,
+        predict: PredictSpec | None = None,
         explain: bool = False,
         lock: ContextManager[Any] | None = None,
     ) -> QueryResult:
@@ -245,6 +247,7 @@ class Executor:
                 plan,
                 missing_resolver=missing_resolver,
                 crowd=crowd,
+                predict=predict,
                 explain=explain,
                 lock=lock,
             )
@@ -252,7 +255,7 @@ class Executor:
             with guard:
                 plan = self._planner.plan_select(statement.statement)
                 description = self.describe_physical_plan(
-                    plan, missing_resolver=missing_resolver, crowd=crowd
+                    plan, missing_resolver=missing_resolver, crowd=crowd, predict=predict
                 )
             return QueryResult(
                 columns=["plan"],
@@ -287,6 +290,7 @@ class Executor:
         *,
         missing_resolver: MissingResolver | None = None,
         crowd: CrowdFillSpec | None = None,
+        predict: PredictSpec | None = None,
         lock: ContextManager[Any] | None = None,
     ) -> SelectStream:
         """Lower *plan*, open the operator tree and return a live stream.
@@ -302,6 +306,7 @@ class Executor:
                 plan,
                 missing_resolver=missing_resolver,
                 crowd=crowd,
+                predict=predict,
                 lock=lock,
                 hash_joins=self.hash_joins,
             )
@@ -314,12 +319,13 @@ class Executor:
         *,
         missing_resolver: MissingResolver | None = None,
         crowd: CrowdFillSpec | None = None,
+        predict: PredictSpec | None = None,
         explain: bool = False,
         lock: ContextManager[Any] | None = None,
     ) -> QueryResult:
         """Execute an already-planned SELECT to completion."""
         stream = self.open_select(
-            plan, missing_resolver=missing_resolver, crowd=crowd, lock=lock
+            plan, missing_resolver=missing_resolver, crowd=crowd, predict=predict, lock=lock
         )
         result = stream.materialize()
         if explain:
@@ -332,6 +338,7 @@ class Executor:
         *,
         missing_resolver: MissingResolver | None = None,
         crowd: CrowdFillSpec | None = None,
+        predict: PredictSpec | None = None,
     ) -> str:
         """Render the physical operator tree for *plan* without executing.
 
@@ -342,6 +349,7 @@ class Executor:
             plan,
             missing_resolver=missing_resolver,
             crowd=crowd,
+            predict=predict,
             hash_joins=self.hash_joins,
         )
         return describe_operator_tree(root, include_stats=False)

@@ -11,7 +11,17 @@ operators, each a pull-based iterator:
   streaming out of a scan for MISSING values of crowd-sourced (perceptual)
   attributes and dispatches them to a batch :class:`ValueSource` in
   configurable batches: one coalesced platform call per attribute per
-  ``batch_size`` missing rows instead of one resolver call per row;
+  ``batch_size`` missing rows instead of one resolver call per row.  Under
+  hybrid acquisition it acquires only the planner-chosen *sample* of the
+  missing rows (plus any low-confidence predicted cells up for
+  re-acquisition) and leaves the rest to :class:`PredictFill`;
+* :class:`PredictFill` — the prediction stage of hybrid acquisition.  It
+  trains an :class:`~repro.db.acquisition.AttributePredictor` (e.g. an
+  SVR/SVC over perceptual-space coordinates) on every known value streaming
+  by — crowd answers from the ``CrowdFill`` below plus previously stored
+  cells — and fills the remaining MISSING cells with predictions, tagging
+  each value's provenance (``crowd`` vs ``predicted`` vs ``stored``) and
+  per-value confidence in storage;
 * joins — :class:`NestedLoopJoin` (general predicates, per-join invariants
   such as the materialized right side and the LEFT JOIN null-row template
   are hoisted out of the probe loop) and :class:`HashJoin`, the equi-join
@@ -36,10 +46,18 @@ Item types flowing between operators:
 
 from __future__ import annotations
 
+import math
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, ContextManager, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Any, ContextManager, Iterator, Mapping, Optional, Sequence
 
+from repro.db.acquisition import (
+    PROVENANCE_CROWD,
+    PROVENANCE_PREDICTED,
+    PredictSpec,
+    SamplePlan,
+    plan_sample,
+)
 from repro.db.catalog import Catalog
 from repro.db.schema import AttributeKind, TableSchema
 from repro.db.sql import ast
@@ -359,6 +377,13 @@ class CrowdFill(Operator):
 
     Contract: N missing rows for one attribute produce
     ``ceil(N / batch_size)`` platform calls — never one call per row.
+
+    Under hybrid acquisition the lowering passes *sample* (attribute ->
+    rowids the planner chose for the crowd; everything else is left MISSING
+    for the :class:`PredictFill` above) and *reacquire* (attribute ->
+    rowids whose stored predicted value fell below the session's confidence
+    threshold; those cells are answered again by the crowd even though they
+    currently hold a value).
     """
 
     label = "CrowdFill"
@@ -371,6 +396,9 @@ class CrowdFill(Operator):
         attributes: Sequence[str],
         spec: CrowdFillSpec,
         lock: ContextManager[Any] | None = None,
+        *,
+        sample: Mapping[str, frozenset[int]] | None = None,
+        reacquire: Mapping[str, frozenset[int]] | None = None,
     ) -> None:
         super().__init__(child)
         self._catalog = catalog
@@ -378,6 +406,8 @@ class CrowdFill(Operator):
         self.attributes = list(attributes)
         self.spec = spec
         self._lock = lock if lock is not None else nullcontext()
+        self.sample = dict(sample) if sample is not None else None
+        self.reacquire = {key: frozenset(value) for key, value in (reacquire or {}).items()}
         #: Number of coalesced platform calls dispatched (per attribute).
         self.batches_dispatched = 0
         #: Number of missing values requested from the source.
@@ -385,12 +415,21 @@ class CrowdFill(Operator):
         #: Number of values actually obtained and patched in.
         self.values_filled = 0
 
+    def _needs_value(self, attribute: str, rowid: int, row: dict[str, Any]) -> bool:
+        """Whether this operator should crowd-source ``row[attribute]``."""
+        reacquire = rowid in self.reacquire.get(attribute, ())
+        if not reacquire and not is_missing(row.get(attribute)):
+            return False
+        if self.sample is None:
+            return True
+        return rowid in self.sample.get(attribute, frozenset())
+
     def _produce(self) -> Iterator[tuple[int, dict[str, Any]]]:
         pending: list[tuple[int, dict[str, Any]]] = []
         missing = 0
         for rowid, row in self.children[0]:
             row_missing = any(
-                is_missing(row.get(attribute)) for attribute in self.attributes
+                self._needs_value(attribute, rowid, row) for attribute in self.attributes
             )
             # Rows with nothing to fill stream straight through while no
             # batch is accumulating, so fully-populated tables keep LIMIT
@@ -421,7 +460,7 @@ class CrowdFill(Operator):
             items = [
                 (rowid, row)
                 for rowid, row in pending
-                if is_missing(row.get(attribute))
+                if self._needs_value(attribute, rowid, row)
             ]
             if not items:
                 continue
@@ -443,7 +482,10 @@ class CrowdFill(Operator):
             if self.spec.write_back and resolved:
                 with self._lock:
                     self._catalog.table(self.table).fill_values(
-                        attribute, resolved, skip_deleted=True
+                        attribute,
+                        resolved,
+                        skip_deleted=True,
+                        provenance=PROVENANCE_CROWD,
                     )
         return pending
 
@@ -451,12 +493,164 @@ class CrowdFill(Operator):
         return ", ".join(f"{self.table}.{a}" for a in self.attributes)
 
     def render_line(self) -> str:
-        return f"CrowdFill(batch_size={self.spec.batch_size}) {self.detail()}"
+        options = f"batch_size={self.spec.batch_size}"
+        if self.sample is not None:
+            sampled = sum(len(rowids) for rowids in self.sample.values())
+            options += f", sample={sampled}"
+        return f"CrowdFill({options}) {self.detail()}"
 
     def stats(self) -> str:
         return (
             f"rows={self.rows_out} batches={self.batches_dispatched} "
             f"filled={self.values_filled}/{self.values_requested}"
+        )
+
+
+class PredictFill(Operator):
+    """Predict remaining MISSING crowd-sourced values from the known ones.
+
+    The second stage of hybrid acquisition: sits directly above a table's
+    :class:`CrowdFill` (or its scan).  The operator is *blocking* — it
+    materializes the child's rows, then for each watched attribute trains
+    the session's :class:`~repro.db.acquisition.AttributePredictor` on
+    every row that already holds a *trustworthy* value (crowd answers
+    obtained below plus previously stored cells; cells whose provenance is
+    ``predicted`` are excluded so the model never trains on its own
+    earlier outputs) and predicts the cells still MISSING.
+
+    Because it blocks, a ``LIMIT`` query under hybrid acquisition acquires
+    the full planner-chosen sample instead of terminating the scan early:
+    the session pays the sample once and ``write_back`` amortizes it
+    across all later queries.  Sessions that want cheap point queries
+    against a sparsely filled table should run crowd-only (no predictor).
+    Predicted values are patched into the in-flight rows and, when
+    ``write_back`` is set, persisted with provenance ``predicted`` and the
+    model's per-value confidence, so later sessions can re-acquire
+    low-confidence cells.
+
+    EXPLAIN ANALYZE counters: rows predicted, crowd platform calls saved
+    versus a crowd-only plan, and the model's training RMSE per attribute.
+    """
+
+    label = "PredictFill"
+
+    def __init__(
+        self,
+        child: Operator,
+        catalog: Catalog,
+        table: str,
+        attributes: Sequence[str],
+        spec: PredictSpec,
+        plans: Mapping[str, SamplePlan],
+        batch_size: int,
+        lock: ContextManager[Any] | None = None,
+    ) -> None:
+        super().__init__(child)
+        self._catalog = catalog
+        self.table = table
+        self.attributes = list(attributes)
+        self.spec = spec
+        self.plans = dict(plans)
+        self.batch_size = batch_size
+        self._lock = lock if lock is not None else nullcontext()
+        #: Number of cells filled with predictions (all attributes).
+        self.rows_predicted = 0
+        #: Crowd platform calls avoided versus crowd-only acquisition.
+        self.crowd_calls_saved = 0
+        #: attribute -> training RMSE of the fitted model.
+        self.model_rmse: dict[str, float] = {}
+        #: attribute -> model kind ("svr-rbf", "svc-rbf", "tsvm-rbf", ...).
+        self.model_kinds: dict[str, str] = {}
+        #: attribute -> number of training examples used.
+        self.training_sizes: dict[str, int] = {}
+
+    def _produce(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        rows = list(self.children[0])
+        for attribute in self.attributes:
+            self._predict_attribute(attribute, rows)
+        yield from rows
+
+    def _predict_attribute(
+        self, attribute: str, rows: list[tuple[int, dict[str, Any]]]
+    ) -> None:
+        targets = [
+            (rowid, row) for rowid, row in rows if is_missing(row.get(attribute))
+        ]
+        if not targets:
+            return
+        # Cells a model filled earlier must not feed the next model's
+        # training set (self-training would relearn prior errors as truth).
+        with self._lock:
+            previously_predicted = {
+                rowid
+                for rowid, entry in self._catalog.table(self.table)
+                .provenance_map(attribute)
+                .items()
+                if entry.source == PROVENANCE_PREDICTED
+            }
+        train = [
+            (rowid, row, row[attribute])
+            for rowid, row in rows
+            if not is_missing(row.get(attribute)) and rowid not in previously_predicted
+        ]
+        batch = self.spec.predictor.fit_predict(
+            attribute,
+            [(rowid, dict(row), value) for rowid, row, value in train],
+            [(rowid, dict(row)) for rowid, row in targets],
+        )
+        self.model_kinds[attribute] = batch.model_kind
+        self.training_sizes[attribute] = batch.training_size
+        if batch.rmse is not None:
+            self.model_rmse[attribute] = batch.rmse
+        if not batch.values:
+            return
+        predicted: dict[int, Any] = {}
+        for rowid, row in targets:
+            if rowid in batch.values:
+                row[attribute] = batch.values[rowid]
+                predicted[rowid] = batch.values[rowid]
+        self.rows_predicted += len(predicted)
+        sample_size = (
+            self.plans[attribute].sample_size if attribute in self.plans else len(train)
+        )
+        # Platform calls a crowd-only plan would have dispatched for the
+        # cells this stage filled by prediction instead.
+        self.crowd_calls_saved += math.ceil(
+            (sample_size + len(predicted)) / self.batch_size
+        ) - math.ceil(sample_size / self.batch_size)
+        if self.spec.write_back and predicted:
+            confidences = {
+                rowid: batch.confidence_for(rowid) for rowid in predicted
+            }
+            with self._lock:
+                self._catalog.table(self.table).fill_values(
+                    attribute,
+                    predicted,
+                    skip_deleted=True,
+                    provenance=PROVENANCE_PREDICTED,
+                    confidences=confidences,
+                )
+
+    def detail(self) -> str:
+        return ", ".join(f"{self.table}.{a}" for a in self.attributes)
+
+    def render_line(self) -> str:
+        policy = self.spec.policy
+        options = f"sample_fraction={policy.sample_fraction:g}"
+        if policy.min_confidence > 0:
+            options += f", min_confidence={policy.min_confidence:g}"
+        return f"PredictFill({options}) {self.detail()}"
+
+    def stats(self) -> str:
+        rmse = (
+            " rmse="
+            + ",".join(f"{a}:{v:.3f}" for a, v in sorted(self.model_rmse.items()))
+            if self.model_rmse
+            else ""
+        )
+        return (
+            f"rows={self.rows_out} predicted={self.rows_predicted} "
+            f"crowd_calls_saved={self.crowd_calls_saved}{rmse}"
         )
 
 
@@ -954,11 +1148,58 @@ def crowd_attributes_for(plan: SelectPlan, schema: TableSchema, alias: str) -> l
     return sorted(attributes)
 
 
+def _plan_acquisition(
+    catalog: Catalog,
+    table: str,
+    attributes: Sequence[str],
+    crowd: CrowdFillSpec | None,
+    predict: PredictSpec,
+) -> tuple[dict[str, SamplePlan], dict[str, frozenset[int]], dict[str, frozenset[int]]]:
+    """Choose, per attribute, which MISSING cells the crowd answers.
+
+    Runs at lowering time (under the catalog lock): the acquisition
+    candidates are the attribute's MISSING cells plus any previously
+    predicted cells whose confidence fell below the policy threshold
+    (re-acquisition).  The sample size is the cost model's call
+    (:func:`repro.db.acquisition.choose_sample_size`), capped by the
+    session's remaining budget — which is apportioned across the query's
+    attributes as the plans are built, so the *total* planned crowd spend
+    never exceeds it.
+    """
+    storage = catalog.table(table)
+    policy = predict.policy
+    budget = predict.remaining_budget()
+    plans: dict[str, SamplePlan] = {}
+    sample: dict[str, frozenset[int]] = {}
+    reacquire: dict[str, frozenset[int]] = {}
+    for attribute in attributes:
+        candidates = list(storage.missing_rowids(attribute))
+        if policy.min_confidence > 0:
+            low = storage.low_confidence_rowids(attribute, policy.min_confidence)
+            reacquire[attribute] = frozenset(low)
+            candidates.extend(low)
+        attribute_plan = plan_sample(
+            attribute,
+            candidates,
+            policy,
+            budget=budget,
+            can_acquire=crowd is not None,
+        )
+        plans[attribute] = attribute_plan
+        sample[attribute] = attribute_plan.sample_rowids
+        if budget is not None:
+            budget = max(
+                0.0, budget - attribute_plan.sample_size * policy.crowd_cost_per_value
+            )
+    return plans, sample, reacquire
+
+
 def _lower_scan(
     plan: SelectPlan,
     scan: ScanPlan,
     catalog: Catalog,
     crowd: CrowdFillSpec | None,
+    predict: PredictSpec | None,
     lock: ContextManager[Any] | None,
 ) -> Operator:
     source: Operator
@@ -968,12 +1209,33 @@ def _lower_scan(
         )
     else:
         source = SeqScan(catalog, scan.table, scan.alias)
+    if crowd is None and predict is None:
+        return source
+    attributes = crowd_attributes_for(plan, catalog.table(scan.table).schema, scan.alias)
+    if not attributes:
+        return source
+    if predict is None:
+        # Exhaustive (crowd-only) acquisition: every MISSING cell is asked.
+        return CrowdFill(source, catalog, scan.table, attributes, crowd, lock)
+    plans, sample, reacquire = _plan_acquisition(
+        catalog, scan.table, attributes, crowd, predict
+    )
     if crowd is not None:
-        attributes = crowd_attributes_for(
-            plan, catalog.table(scan.table).schema, scan.alias
+        source = CrowdFill(
+            source,
+            catalog,
+            scan.table,
+            attributes,
+            crowd,
+            lock,
+            sample=sample,
+            reacquire=reacquire,
         )
-        if attributes:
-            source = CrowdFill(source, catalog, scan.table, attributes, crowd, lock)
+    if any(p.predicted_count > 0 for p in plans.values()):
+        batch_size = crowd.batch_size if crowd is not None else 50
+        source = PredictFill(
+            source, catalog, scan.table, attributes, predict, plans, batch_size, lock
+        )
     return source
 
 
@@ -1007,6 +1269,7 @@ def lower_select_plan(
     *,
     missing_resolver: MissingResolver | None = None,
     crowd: CrowdFillSpec | None = None,
+    predict: PredictSpec | None = None,
     lock: ContextManager[Any] | None = None,
     hash_joins: bool = True,
 ) -> Operator:
@@ -1014,16 +1277,20 @@ def lower_select_plan(
 
     Must be called (and the returned tree ``open()``-ed) under the catalog
     lock when the catalog is shared; iteration afterwards is lock-free.
+
+    With both *crowd* and *predict* configured, scans of tables whose
+    referenced perceptual attributes have MISSING cells lower to the
+    two-stage hybrid plan ``scan -> CrowdFill(sample) -> PredictFill``.
     """
     root: Operator
     if plan.scan is None:
         root = SingleRow()
     else:
-        source = _lower_scan(plan, plan.scan, catalog, crowd, lock)
+        source = _lower_scan(plan, plan.scan, catalog, crowd, predict, lock)
         root = Bind(source, plan.scan.alias)
         aliases = {plan.scan.alias.lower()}
         for join in plan.joins:
-            right = _lower_scan(plan, join.scan, catalog, crowd, lock)
+            right = _lower_scan(plan, join.scan, catalog, crowd, predict, lock)
             right_columns = catalog.table(join.scan.table).schema.column_names
             keys = None
             if (

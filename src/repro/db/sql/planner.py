@@ -146,6 +146,7 @@ class Planner:
         *,
         missing_resolver=None,
         crowd=None,
+        predict=None,
         lock=None,
         hash_joins: bool = True,
     ):
@@ -155,6 +156,14 @@ class Planner:
         :func:`repro.db.sql.operators.lower_select_plan`; see there for
         the runtime-parameter semantics.  Must run under the catalog lock
         when the catalog is shared.
+
+        Acquisition strategy is chosen here, per lowering: with only a
+        *crowd* spec every MISSING crowd-sourced cell a query touches is
+        dispatched to the platform; adding a *predict* spec switches to
+        hybrid acquisition, where the sample-size choice
+        (:func:`repro.db.acquisition.choose_sample_size`) weighs the
+        crowd's per-value cost against the predictor's and caps the crowd
+        sample by the session's remaining budget.
         """
         from repro.db.sql.operators import lower_select_plan
 
@@ -163,6 +172,7 @@ class Planner:
             self._catalog,
             missing_resolver=missing_resolver,
             crowd=crowd,
+            predict=predict,
             lock=lock,
             hash_joins=hash_joins,
         )

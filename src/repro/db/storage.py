@@ -9,6 +9,7 @@ and the schema-expansion layer can target exactly those.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.db.schema import Column, TableSchema
@@ -17,6 +18,25 @@ from repro.errors import ExecutionError, IntegrityError, UnknownColumnError
 
 #: A stored row: column name -> value (always contains every schema column).
 Row = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ValueProvenance:
+    """Where a stored cell value came from, and how much it is trusted.
+
+    ``source`` is ``"stored"`` (inserted/updated by the application),
+    ``"crowd"`` (acquired from a crowd platform) or ``"predicted"``
+    (filled by a perceptual-space model).  ``confidence`` is in ``[0, 1]``;
+    predicted cells below a session's ``min_confidence`` threshold are
+    re-acquisition candidates for later queries.
+    """
+
+    source: str = "stored"
+    confidence: float = 1.0
+
+
+#: Default provenance for values written through the ordinary DML path.
+STORED_PROVENANCE = ValueProvenance()
 
 
 class HashIndex:
@@ -59,6 +79,9 @@ class TableStorage:
         self._next_rowid = 1
         self._indexes: dict[str, HashIndex] = {}
         self._pk_index: HashIndex | None = None
+        #: column -> {rowid -> ValueProvenance} for cells written by the
+        #: acquisition layers; cells without an entry are "stored".
+        self._provenance: dict[str, dict[int, ValueProvenance]] = {}
         #: Optional callback invoked after every schema change (column or
         #: index added).  The catalog installs its version bump here so
         #: prepared-statement caches can invalidate stale plans.
@@ -127,10 +150,16 @@ class TableStorage:
         row = self.get(rowid)
         for index in self._indexes.values():
             index.remove(rowid, row.get(index.column))
+        for entries in self._provenance.values():
+            entries.pop(rowid, None)
         del self._rows[rowid]
 
     def update(self, rowid: int, changes: dict[str, Any]) -> Row:
-        """Apply *changes* (column -> new value) to the row at *rowid*."""
+        """Apply *changes* (column -> new value) to the row at *rowid*.
+
+        A direct update makes the cell an application-stored value again:
+        any crowd/predicted provenance recorded for it is cleared.
+        """
         row = self.get(rowid)
         for name, value in changes.items():
             column = self.schema.column(name)
@@ -144,6 +173,9 @@ class TableStorage:
                 index.remove(rowid, row.get(column.name))
                 index.add(rowid, coerced)
             row[column.name] = coerced
+            entries = self._provenance.get(column.name)
+            if entries is not None:
+                entries.pop(rowid, None)
         return row
 
     # -- scans ----------------------------------------------------------------
@@ -212,7 +244,13 @@ class TableStorage:
         return len(self.missing_rowids(column_name)) / len(self._rows)
 
     def fill_values(
-        self, column_name: str, values: dict[int, Any], *, skip_deleted: bool = False
+        self,
+        column_name: str,
+        values: dict[int, Any],
+        *,
+        skip_deleted: bool = False,
+        provenance: str | None = None,
+        confidences: dict[int, float] | None = None,
     ) -> int:
         """Fill *column_name* for the given ``rowid -> value`` mapping.
 
@@ -221,12 +259,70 @@ class TableStorage:
         ``skip_deleted`` rowids that no longer exist are silently dropped
         (a concurrent session may delete rows while crowd values are being
         obtained); otherwise a stale rowid raises :class:`ExecutionError`.
+
+        When *provenance* is given (``"crowd"`` / ``"predicted"``) each
+        written cell is tagged with it, together with its per-value
+        confidence from *confidences* (default 1.0), so later queries can
+        distinguish acquired from stored data and re-acquire
+        low-confidence predictions.
         """
         column = self.schema.column(column_name)
+        confidences = confidences or {}
         updated = 0
         for rowid, value in values.items():
             if skip_deleted and rowid not in self._rows:
                 continue
             self.update(rowid, {column.name: value})
+            if provenance is not None:
+                self._provenance.setdefault(column.name, {})[rowid] = ValueProvenance(
+                    source=provenance,
+                    confidence=float(confidences.get(rowid, 1.0)),
+                )
             updated += 1
         return updated
+
+    # -- provenance accounting -------------------------------------------------
+
+    def provenance_of(self, column_name: str, rowid: int) -> ValueProvenance:
+        """Provenance of one cell (application-stored by default)."""
+        column = self.schema.column(column_name)
+        self.get(rowid)  # raises on unknown rowid
+        return self._provenance.get(column.name, {}).get(rowid, STORED_PROVENANCE)
+
+    def provenance_map(self, column_name: str) -> dict[int, ValueProvenance]:
+        """``rowid -> ValueProvenance`` for every non-stored cell of a column."""
+        column = self.schema.column(column_name)
+        return dict(self._provenance.get(column.name, {}))
+
+    def provenance_counts(self, column_name: str) -> dict[str, int]:
+        """Histogram of provenance sources over all rows of a column.
+
+        Rows whose cell is MISSING are excluded (they have no value whose
+        origin could be counted).
+        """
+        column = self.schema.column(column_name)
+        entries = self._provenance.get(column.name, {})
+        counts: dict[str, int] = {}
+        for rowid, row in self._rows.items():
+            if is_missing(row.get(column.name)):
+                continue
+            source = entries.get(rowid, STORED_PROVENANCE).source
+            counts[source] = counts.get(source, 0) + 1
+        return counts
+
+    def low_confidence_rowids(self, column_name: str, threshold: float) -> list[int]:
+        """Rowids whose predicted value falls below the confidence threshold.
+
+        These are the re-acquisition candidates: cells filled by a model
+        rather than a human, with a confidence the session no longer
+        accepts.
+        """
+        column = self.schema.column(column_name)
+        entries = self._provenance.get(column.name, {})
+        return sorted(
+            rowid
+            for rowid, entry in entries.items()
+            if rowid in self._rows
+            and entry.source == "predicted"
+            and entry.confidence < threshold
+        )

@@ -46,6 +46,39 @@ class TestRequestValues:
         assert source.dispatches == 0
 
 
+class TestDeterminism:
+    def make_source(self, truth, seed):
+        return SimulatedCrowdValueSource(
+            CrowdPlatform(seed=11),
+            WorkerPool.build(n_honest=15, seed=3),
+            truth={"is_comedy": truth},
+            judgments_per_item=5,
+            seed=seed,
+        )
+
+    def test_seeded_source_is_deterministic_across_runs(self, truth):
+        items = [(rowid, {"item_id": rowid}) for rowid in range(1, 21)]
+        runs = []
+        for _ in range(2):
+            source = self.make_source(truth, seed=42)
+            runs.append(
+                [source.request_values("is_comedy", items[i : i + 10]) for i in (0, 10)]
+            )
+        assert runs[0] == runs[1]
+
+    def test_dispatches_use_independent_seeds(self, truth):
+        # The same batch asked twice through a seeded source must not reuse
+        # one rng stream per attribute: the dispatch ordinal feeds the seed.
+        items = [(rowid, {"item_id": rowid}) for rowid in range(1, 11)]
+        source = self.make_source(truth, seed=42)
+        source.request_values("is_comedy", items)
+        source.request_values("is_comedy", items)
+        first, second = source.runs
+        assert [j.worker_id for j in first.judgments] != [
+            j.worker_id for j in second.judgments
+        ]
+
+
 class TestQueryIntegration:
     def test_expansion_query_dispatches_coalesced_hit_groups(self, source, truth):
         conn = connect()
