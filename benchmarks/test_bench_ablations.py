@@ -22,7 +22,7 @@ from repro.core.prediction import PerceptualPredictor
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.sources import SimulatedCrowdValueSource
 from repro.crowd.worker import WorkerPool
-from repro.db import Catalog, Connection
+from repro.db import Catalog, Connection, SessionContext
 from repro.db.types import is_missing
 from repro.experiments.context import build_perceptual_space
 from repro.learn.metrics import g_mean
@@ -105,7 +105,14 @@ def test_ablation_extractor_training_cost(benchmark, movie_context, report_write
     """Per-retraining cost of the SVM extractor (Experiment 4 inner loop)."""
     labels = movie_context.reference_labels("Comedy")
     usable = {i: l for i, l in labels.items() if i in movie_context.space}
-    positives, negatives = sample_balanced_training_set(usable, 100, seed=0)
+    # Cap at what the corpus offers: the small CI scale has fewer than 100
+    # positives, and the benchmark measures cost, not a fixed sample size.
+    per_class = min(
+        100,
+        sum(1 for label in usable.values() if label),
+        sum(1 for label in usable.values() if not label),
+    )
+    positives, negatives = sample_balanced_training_set(usable, per_class, seed=0)
     gold = {i: True for i in positives}
     gold.update({i: False for i in negatives})
     extractor = PerceptualAttributeExtractor(movie_context.space, seed=0)
@@ -290,6 +297,110 @@ def test_ablation_hybrid_acquisition(movie_context, report_writer):
                 ),
             ],
             title="Ablation: hybrid crowd+predict acquisition (movies workload)",
+        ),
+    )
+
+
+def test_ablation_concurrent_acquisition(report_writer):
+    """Concurrent acquisition runtime vs. serialized crowd dispatch.
+
+    Crowd latency dominates query time, so the acquisition runtime's
+    bounded worker pool must overlap the platform round-trips of different
+    attributes and batches: on a four-attribute workload with a
+    latency-simulating crowd source, ``max_concurrent_batches=4`` has to
+    beat the serialized baseline by >=2x wall-clock while producing
+    *identical* answers (child seeds derive from request identity, not
+    dispatch order).  Re-running the query must be served entirely from
+    the cross-query AnswerCache: zero additional platform calls.
+    """
+    n_rows = 48
+    attributes = ("funny", "scary", "romantic", "violent")
+    batch_size = 12  # 4 flushes x 4 attributes = 16 dispatches per query
+    latency = 0.05  # simulated platform round-trip (seconds)
+
+    def build(concurrency: int) -> tuple[Connection, SimulatedCrowdValueSource]:
+        conn = Connection(
+            Catalog(),
+            session=SessionContext(
+                max_concurrent_batches=concurrency,
+                # keep cells MISSING in storage so the repeat query
+                # exercises the AnswerCache instead of the write-back path
+                crowd_write_back=False,
+            ),
+        )
+        conn.execute("CREATE TABLE items (item_id INTEGER PRIMARY KEY, name TEXT)")
+        conn.executemany(
+            "INSERT INTO items (item_id, name) VALUES (?, ?)",
+            [(i, f"item-{i}") for i in range(1, n_rows + 1)],
+        )
+        for attribute in attributes:
+            conn.add_perceptual_column("items", attribute)
+        truth = {
+            attribute: {i: (i + offset) % 3 == 0 for i in range(1, n_rows + 1)}
+            for offset, attribute in enumerate(attributes)
+        }
+        source = SimulatedCrowdValueSource(
+            CrowdPlatform(seed=7),
+            WorkerPool.build(n_experts=20, seed=5),
+            truth=truth,
+            judgments_per_item=3,
+            items_per_hit=8,
+            # Forced answers (paper Experiment 3 setting): an odd judgment
+            # count then always has a majority, so the first query answers
+            # every cell and the repeat query is a pure cache read.
+            allow_dont_know=False,
+            seed=13,
+            latency_seconds=latency,
+        )
+        conn.set_value_source(source, batch_size=batch_size)
+        return conn, source
+
+    sql = "SELECT item_id, funny, scary, romantic, violent FROM items"
+
+    def timed(conn: Connection) -> tuple[float, list]:
+        start = time.perf_counter()
+        rows = conn.execute(sql).fetchall()
+        return time.perf_counter() - start, rows
+
+    serial_conn, serial_source = build(1)
+    serial_time, serial_rows = timed(serial_conn)
+    concurrent_conn, concurrent_source = build(4)
+    concurrent_time, concurrent_rows = timed(concurrent_conn)
+
+    # Determinism: interleaved dispatch must not change a single answer.
+    assert concurrent_rows == serial_rows
+    assert concurrent_source.dispatches == serial_source.dispatches
+    speedup = serial_time / concurrent_time
+    assert speedup >= 2.0, (
+        f"concurrent acquisition (max_concurrent_batches=4) should beat the "
+        f"serialized baseline by >=2x wall-clock, got {speedup:.2f}x "
+        f"({serial_time * 1000:.0f} ms vs {concurrent_time * 1000:.0f} ms)"
+    )
+
+    # Cross-query answer cache: the repeat query costs zero platform calls.
+    dispatches_before = concurrent_source.dispatches
+    repeat_time, repeat_rows = timed(concurrent_conn)
+    assert repeat_rows == concurrent_rows
+    assert concurrent_source.dispatches == dispatches_before
+    cache_stats = concurrent_conn.acquisition_runtime().cache.stats()
+    assert cache_stats.hits >= n_rows * len(attributes)
+
+    report_writer(
+        "ablation_concurrent_acquisition",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("workload", f"{n_rows} rows x {len(attributes)} attributes"),
+                ("platform dispatches per query", serial_source.dispatches),
+                ("simulated latency per dispatch", f"{latency * 1000:.0f} ms"),
+                ("serialized wall time (1 worker)", f"{serial_time * 1000:.0f} ms"),
+                ("concurrent wall time (4 workers)", f"{concurrent_time * 1000:.0f} ms"),
+                ("speedup", f"{speedup:.1f}x"),
+                ("repeat-query wall time (cache)", f"{repeat_time * 1000:.0f} ms"),
+                ("repeat-query platform calls", 0),
+                ("answer-cache hits", cache_stats.hits),
+            ],
+            title="Ablation: concurrent acquisition runtime + answer cache",
         ),
     )
 

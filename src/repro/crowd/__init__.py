@@ -18,6 +18,7 @@ from repro.crowd.quality_control import (
     QualityControl,
     TrustedWorkerPolicy,
 )
+from repro.crowd.runtime import AcquisitionOutcome, AcquisitionRuntime, AnswerCache
 from repro.crowd.sources import SimulatedCrowdValueSource
 from repro.crowd.worker import (
     WorkerArchetype,
@@ -29,7 +30,10 @@ from repro.crowd.worker import (
 )
 
 __all__ = [
+    "AcquisitionOutcome",
+    "AcquisitionRuntime",
     "Answer",
+    "AnswerCache",
     "CostModel",
     "CountryFilter",
     "CrowdPlatform",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -122,6 +123,13 @@ class CrowdPlatform:
         self.cost_model = cost_model or CostModel()
         self.worker_interarrival_minutes = worker_interarrival_minutes
         self._seed = seed
+        # Guards rng derivation when the platform seed is a shared
+        # numpy Generator: concurrent run_group calls would otherwise race
+        # on its internal state.  Callers wanting *determinism* (not just
+        # safety) under concurrency must pass an explicit per-dispatch
+        # seed derived from request identity — see
+        # :class:`~repro.crowd.sources.SimulatedCrowdValueSource`.
+        self._seed_lock = threading.Lock()
 
     # -- public API ------------------------------------------------------------------
 
@@ -144,11 +152,17 @@ class CrowdPlatform:
         An explicit *seed* overrides the platform's own seed for this one
         dispatch; callers issuing many dispatches (e.g. the batched value
         source) derive an independent child seed per call so repeated runs
-        are deterministic and batches are not correlated.
+        are deterministic and batches are not correlated.  Because the
+        override is an integer derived from the *request* (not from shared
+        mutable rng state), concurrent ``run_group`` calls with explicit
+        seeds produce identical answers regardless of scheduling — the
+        property the concurrent acquisition runtime's determinism test
+        pins down.
         """
         quality_control = quality_control or QualityControl.none()
         run_seed = seed if seed is not None else self._seed
-        rng = spawn_rng(run_seed, "platform", group.question.attribute, len(pool))
+        with self._seed_lock:
+            rng = spawn_rng(run_seed, "platform", group.question.attribute, len(pool))
         truth = dict(truth or {})
 
         try:

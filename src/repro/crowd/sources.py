@@ -10,10 +10,19 @@ top of the simulated crowd platform: every batch becomes exactly one
 by majority vote.  Set-oriented acquisition — one HIT group per batch per
 attribute instead of one crowd round-trip per row — is what makes crowd
 latency and cost tractable at query time.
+
+The source is **thread-safe**: the
+:class:`~repro.crowd.runtime.AcquisitionRuntime` dispatches batches for
+different attributes concurrently, so all mutable statistics are guarded by
+a lock, and the per-dispatch child seeds are derived from *request
+identity* (attribute + item ids), never from dispatch order — the same
+workload produces the same answers at any concurrency level.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Any, Mapping, Sequence
 
 from repro.crowd.hit import HITGroup, Question, make_task_items
@@ -44,13 +53,32 @@ class SimulatedCrowdValueSource:
         HIT group shape; forwarded to :class:`~repro.crowd.hit.HITGroup`.
     quality_control:
         Optional quality-control policy applied to every dispatch.
+    allow_dont_know:
+        Whether workers may answer "I do not know this item" (forwarded to
+        the :class:`~repro.crowd.hit.Question` of every dispatch).
+        Disabling it forces an answer — the paper's Experiment 3 setting —
+        so an odd ``judgments_per_item`` always yields a majority and no
+        cell stays unanswered.
     seed:
-        Optional explicit seed (or generator) for the simulated platform
-        runs.  Each dispatch derives an independent child seed from it (by
-        attribute and dispatch ordinal), so a seeded source is fully
-        deterministic across runs while successive batches stay
-        uncorrelated.  Without it the platform's own seed governs, which
-        reuses one stream per attribute.
+        Optional explicit seed for the simulated platform runs.  Each
+        dispatch derives an independent child seed from the *identity of
+        the request* — the attribute and the sorted item ids — so a seeded
+        source is fully deterministic regardless of the order in which
+        concurrent dispatches execute, while batches over different items
+        stay uncorrelated.  (Re-asking the exact same batch deterministically
+        reproduces the same answers; that is the property the concurrent
+        runtime's determinism guarantee rests on.)  A generator seed is
+        frozen to an integer at construction time so later draws cannot
+        depend on thread scheduling.  Without a seed the platform's own
+        seed governs, which reuses one stream per attribute.
+    latency_seconds:
+        Simulated platform round-trip latency: every dispatch sleeps this
+        many *wall-clock* seconds before returning, standing in for the
+        HTTP/queueing latency of a live platform (the simulated
+        ``completion_minutes`` clock is separate).  This is what the
+        concurrent-acquisition ablation overlaps: with a latency-simulating
+        source, dispatching four attributes concurrently costs one
+        round-trip instead of four.
 
     Statistics
     ----------
@@ -58,7 +86,8 @@ class SimulatedCrowdValueSource:
     attribute — the quantity the batching contract bounds), ``total_cost``
     and ``total_judgments`` accumulate over all dispatches, and ``runs``
     keeps every :class:`~repro.crowd.platform.CrowdRunResult` for
-    inspection.
+    inspection.  All statistics are updated atomically under an internal
+    lock so concurrent dispatches never lose counts.
     """
 
     def __init__(
@@ -72,19 +101,29 @@ class SimulatedCrowdValueSource:
         items_per_hit: int = 10,
         payment_per_hit: float = 0.02,
         quality_control: QualityControl | None = None,
+        allow_dont_know: bool = True,
         prompt: str = "",
         seed: RandomState = None,
+        latency_seconds: float = 0.0,
     ) -> None:
+        if latency_seconds < 0:
+            raise ValueError("latency_seconds must be non-negative")
         self._platform = platform
         self._pool = pool
-        self._seed = seed
+        # Freeze generator seeds immediately: drawing from a shared
+        # generator at dispatch time would make child seeds depend on the
+        # order concurrent dispatches happen to run in.
+        self._seed = derive_seed(seed, "value-source") if seed is not None else None
         self._truth = {attr: dict(values) for attr, values in truth.items()}
         self.key_column = key_column
         self.judgments_per_item = judgments_per_item
         self.items_per_hit = items_per_hit
         self.payment_per_hit = payment_per_hit
         self._quality_control = quality_control
+        self.allow_dont_know = allow_dont_know
         self._prompt = prompt
+        self.latency_seconds = latency_seconds
+        self._stats_lock = threading.Lock()
         self.dispatches = 0
         self.total_cost = 0.0
         self.total_judgments = 0
@@ -99,6 +138,19 @@ class SimulatedCrowdValueSource:
         platform item and stay unanswered; items without a clear majority
         are likewise omitted, leaving their cells MISSING.
         """
+        values, _cost = self.request_values_with_cost(attribute, items)
+        return values
+
+    def request_values_with_cost(
+        self, attribute: str, items: Sequence[tuple[int, dict[str, Any]]]
+    ) -> tuple[dict[int, Any], float]:
+        """Like :meth:`request_values`, also returning this dispatch's cost.
+
+        The per-dispatch cost lets the
+        :class:`~repro.crowd.runtime.AcquisitionRuntime` charge session
+        budgets exactly even when several dispatches run concurrently
+        (sampling ``total_cost`` deltas would race).
+        """
         rowid_to_item: dict[int, int] = {}
         for rowid, row in items:
             key = row.get(self.key_column)
@@ -106,21 +158,30 @@ class SimulatedCrowdValueSource:
                 continue
             rowid_to_item[rowid] = int(key)
         if not rowid_to_item:
-            return {}
+            return {}, 0.0
 
         item_ids = sorted(set(rowid_to_item.values()))
         group = HITGroup(
-            question=Question(attribute=attribute, prompt=self._prompt),
+            question=Question(
+                attribute=attribute,
+                prompt=self._prompt,
+                allow_dont_know=self.allow_dont_know,
+            ),
             items=make_task_items(item_ids),
             judgments_per_item=self.judgments_per_item,
             items_per_hit=self.items_per_hit,
             payment_per_hit=self.payment_per_hit,
         )
+        # Child seeds hash the request identity (attribute + item ids), so
+        # the answers for a batch are a pure function of the batch — the
+        # dispatch order under a concurrent runtime cannot change them.
         dispatch_seed = (
-            derive_seed(self._seed, attribute, self.dispatches)
+            derive_seed(self._seed, attribute, tuple(item_ids))
             if self._seed is not None
             else None
         )
+        if self.latency_seconds:
+            time.sleep(self.latency_seconds)
         result = self._platform.run_group(
             group,
             self._pool,
@@ -128,14 +189,16 @@ class SimulatedCrowdValueSource:
             truth=self._truth.get(attribute, {}),
             seed=dispatch_seed,
         )
-        self.dispatches += 1
-        self.total_cost += result.total_cost
-        self.total_judgments += len(result.judgments)
-        self.runs.append(result)
+        with self._stats_lock:
+            self.dispatches += 1
+            self.total_cost += result.total_cost
+            self.total_judgments += len(result.judgments)
+            self.runs.append(result)
 
         labels = result.majority_labels()
-        return {
+        values = {
             rowid: labels[item_id]
             for rowid, item_id in rowid_to_item.items()
             if item_id in labels
         }
+        return values, result.total_cost

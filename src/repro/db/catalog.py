@@ -13,11 +13,15 @@ objects (the multi-tenant setup of the connection API), so it carries
 from __future__ import annotations
 
 import threading
-from typing import Iterator
+import weakref
+from typing import TYPE_CHECKING, Iterator
 
 from repro.db.schema import TableSchema
 from repro.db.storage import TableStorage
 from repro.errors import DuplicateTableError, UnknownTableError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (crowd imports db)
+    from repro.crowd.runtime import AcquisitionRuntime
 
 
 class Catalog:
@@ -29,6 +33,52 @@ class Catalog:
         #: Guards reads and writes when the catalog is shared by connections.
         self.lock = threading.RLock()
         self._expansions: dict[tuple[str, str], threading.Event] = {}
+        #: The catalog-shared acquisition runtime (created lazily) plus any
+        #: session-private runtimes that registered for cell invalidations.
+        #: Weakly referenced: a session dropping its private runtime must
+        #: not pin its cache and worker pool for the catalog's lifetime.
+        self._runtime: "AcquisitionRuntime | None" = None
+        self._runtimes: "weakref.WeakSet[AcquisitionRuntime]" = weakref.WeakSet()
+
+    # -- acquisition runtime ------------------------------------------------------
+
+    def acquisition_runtime(self, **knobs) -> "AcquisitionRuntime":
+        """Return the catalog's shared :class:`~repro.crowd.runtime.AcquisitionRuntime`.
+
+        Created on first call with the given knobs (``max_concurrent_batches``,
+        ``cache_size``, ``cache_ttl_seconds``); later callers share the same
+        instance — which is what makes answer caching and in-flight request
+        coalescing work *across* connections, not just within one — and
+        their knobs are ignored.  A session wanting different knobs installs
+        its own runtime via
+        :attr:`~repro.db.connection.SessionContext.runtime`.
+        """
+        from repro.crowd.runtime import AcquisitionRuntime  # lazy: crowd imports db
+
+        with self.lock:
+            if self._runtime is None:
+                self._runtime = AcquisitionRuntime(**knobs)
+                self.register_runtime(self._runtime)
+            return self._runtime
+
+    def register_runtime(self, runtime: "AcquisitionRuntime") -> None:
+        """Subscribe *runtime* to this catalog's cell invalidations.
+
+        Direct UPDATEs (and DROP TABLE) on cached cells must evict the
+        corresponding :class:`~repro.crowd.runtime.AnswerCache` entries of
+        every runtime observing this catalog, including session-private
+        runtimes that bypass :meth:`acquisition_runtime`.
+        """
+        with self.lock:
+            self._runtimes.add(runtime)
+
+    def _invalidate_cell(self, table: str, column: str, rowid: int) -> None:
+        for runtime in list(self._runtimes):
+            runtime.cache.invalidate(table, column, rowid)
+
+    def _invalidate_table(self, table: str) -> None:
+        for runtime in list(self._runtimes):
+            runtime.cache.invalidate_table(table)
 
     # -- in-flight expansion registry -------------------------------------------
 
@@ -76,6 +126,11 @@ class Catalog:
             raise DuplicateTableError(schema.name)
         storage = TableStorage(schema)
         storage.on_schema_change = self.bump_version
+        storage.on_cell_invalidated = (
+            lambda column, rowid, table=schema.name: self._invalidate_cell(
+                table, column, rowid
+            )
+        )
         self._tables[key] = storage
         self.bump_version()
         return storage
@@ -88,7 +143,11 @@ class Catalog:
                 return
             raise UnknownTableError(name)
         self._tables[key].on_schema_change = None
+        self._tables[key].on_cell_invalidated = None
         del self._tables[key]
+        # Rowids restart at 1 for a re-created table of the same name, so
+        # stale cached answers for the old incarnation must not survive.
+        self._invalidate_table(key)
         self.bump_version()
 
     def table(self, name: str) -> TableStorage:

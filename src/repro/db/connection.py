@@ -28,6 +28,7 @@ adds three capabilities the paper's query-driven workload needs at scale:
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
@@ -72,6 +73,10 @@ def _validate_batch_size(batch_size: int) -> int:
     if batch_size <= 0:
         raise ValueError(f"crowd batch_size must be positive, got {batch_size}")
     return batch_size
+
+
+#: Distinguishes "knob not passed" from an explicit None (a valid TTL value).
+_UNSET: Any = object()
 
 
 # ---------------------------------------------------------------------------
@@ -124,6 +129,22 @@ class SessionContext:
         The :class:`~repro.db.acquisition.AcquisitionPolicy` steering the
         hybrid plan (sample fraction, min confidence, predict-vs-crowd
         cost ratio).  Defaults to the policy's defaults.
+    runtime:
+        Optional session-private
+        :class:`~repro.crowd.runtime.AcquisitionRuntime`.  By default the
+        session dispatches through the *catalog's* shared runtime (created
+        lazily from the three knobs below), which is what enables
+        cross-connection answer caching and in-flight request coalescing;
+        pass an explicit runtime to isolate a session or to pin different
+        knobs.
+    max_concurrent_batches:
+        Worker-pool bound of the lazily created runtime: how many crowd
+        platform dispatches (HIT-group batches of different attributes and
+        batches) may be in flight at once.  ``1`` serializes all crowd
+        calls.
+    answer_cache_size, answer_cache_ttl:
+        Capacity and expiry (seconds; ``None`` = never) of the runtime's
+        cross-query :class:`~repro.crowd.runtime.AnswerCache`.
     """
 
     def __init__(
@@ -138,7 +159,24 @@ class SessionContext:
         crowd_write_back: bool = True,
         predictor: AttributePredictor | None = None,
         acquisition: AcquisitionPolicy | None = None,
+        runtime: Any = None,
+        max_concurrent_batches: int | None = None,
+        answer_cache_size: int | None = None,
+        answer_cache_ttl: float | None = _UNSET,
     ) -> None:
+        #: Whether the caller expressed runtime knobs at all — a session
+        #: that kept the defaults must not be warned when the catalog's
+        #: shared runtime happens to be configured differently.
+        self.runtime_knobs_explicit = (
+            max_concurrent_batches is not None
+            or answer_cache_size is not None
+            or answer_cache_ttl is not _UNSET
+        )
+        max_concurrent_batches = 4 if max_concurrent_batches is None else max_concurrent_batches
+        answer_cache_size = 1024 if answer_cache_size is None else answer_cache_size
+        answer_cache_ttl = None if answer_cache_ttl is _UNSET else answer_cache_ttl
+        if max_concurrent_batches < 1:
+            raise ValueError("max_concurrent_batches must be >= 1")
         self.missing_resolver = missing_resolver
         self.expansion_handler = expansion_handler
         self._ledger = ledger
@@ -149,13 +187,19 @@ class SessionContext:
         self.crowd_write_back = crowd_write_back
         self.predictor = predictor
         self.acquisition = acquisition if acquisition is not None else AcquisitionPolicy()
+        self.runtime = runtime
+        self.max_concurrent_batches = max_concurrent_batches
+        self.answer_cache_size = answer_cache_size
+        self.answer_cache_ttl = answer_cache_ttl
 
-    def crowd_spec(self) -> CrowdFillSpec | None:
+    def crowd_spec(self, runtime: Any = None) -> CrowdFillSpec | None:
         """The batch crowd-fill configuration, or None when not set up.
 
         The session itself rides along as the budget hook: batch crowd
         spending is charged to ``cost_spent`` (for cost-aware sources) and
-        stops once ``budget_exhausted``.
+        stops once ``budget_exhausted``.  *runtime* is the acquisition
+        runtime the operator should dispatch through (the session's own
+        one wins over the caller-provided default).
         """
         if self.value_source is None:
             return None
@@ -164,9 +208,10 @@ class SessionContext:
             batch_size=self.crowd_batch_size,
             write_back=self.crowd_write_back,
             session=self,
+            runtime=self.runtime if self.runtime is not None else runtime,
         )
 
-    def predict_spec(self) -> PredictSpec | None:
+    def predict_spec(self, runtime: Any = None) -> PredictSpec | None:
         """The prediction-stage configuration, or None when no predictor."""
         if self.predictor is None:
             return None
@@ -175,6 +220,7 @@ class SessionContext:
             policy=self.acquisition,
             write_back=self.crowd_write_back,
             session=self,
+            runtime=self.runtime if self.runtime is not None else runtime,
         )
 
     @property
@@ -538,6 +584,7 @@ class Connection:
         self._cache = StatementCache(statement_cache_size)
         self._lock = threading.RLock()
         self._statement_log: deque[str] = deque(maxlen=statement_log_size)
+        self._runtime_knobs_warned = False
         self._closed = False
 
     # -- DB-API surface -----------------------------------------------------------
@@ -645,6 +692,63 @@ class Connection:
         if overrides:
             self.session.acquisition = self.session.acquisition.with_overrides(**overrides)
 
+    def set_acquisition_runtime(self, runtime: Any) -> None:
+        """Install a session-private acquisition runtime (None = shared).
+
+        By default crowd acquisition dispatches through the catalog's
+        shared :class:`~repro.crowd.runtime.AcquisitionRuntime`; a private
+        runtime isolates this session's cache and worker pool (used e.g.
+        by the concurrency ablation to pin ``max_concurrent_batches``).
+        The runtime is registered with the catalog either way so direct
+        UPDATEs keep invalidating its cached answers.
+        """
+        self.session.runtime = runtime
+        if runtime is not None:
+            self.catalog.register_runtime(runtime)
+
+    def acquisition_runtime(self) -> Any:
+        """The runtime this connection's crowd acquisition dispatches through.
+
+        Returns the session-private runtime when one is installed,
+        otherwise the catalog's shared runtime — creating it (lazily) from
+        the session's ``max_concurrent_batches`` / ``answer_cache_size`` /
+        ``answer_cache_ttl`` knobs on first use.
+        """
+        runtime = self.session.runtime
+        if runtime is not None:
+            # register_runtime is an idempotent lock-guarded WeakSet.add;
+            # calling it unconditionally keeps the session free to swap
+            # runtimes without extra bookkeeping here.
+            self.catalog.register_runtime(runtime)
+            return runtime
+        shared = self.catalog.acquisition_runtime(
+            max_concurrent_batches=self.session.max_concurrent_batches,
+            cache_size=self.session.answer_cache_size,
+            cache_ttl_seconds=self.session.answer_cache_ttl,
+        )
+        if (
+            not self._runtime_knobs_warned
+            and self.session.runtime_knobs_explicit
+            and (
+                shared.max_concurrent_batches != self.session.max_concurrent_batches
+                or shared.cache.capacity != self.session.answer_cache_size
+                or shared.cache.ttl_seconds != self.session.answer_cache_ttl
+            )
+        ):
+            # The shared runtime was created (by whichever session touched
+            # the catalog first) with different knobs; a silent no-op here
+            # would make e.g. a TTL setting appear to just not work.
+            self._runtime_knobs_warned = True
+            warnings.warn(
+                "this session's acquisition-runtime knobs differ from the "
+                "catalog's shared runtime (created first-caller-wins); pass "
+                "a session-private runtime via set_acquisition_runtime() or "
+                "SessionContext(runtime=...) to apply them",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return shared
+
     def expansion(self) -> "ExpansionPipeline":
         """Start a fluent :class:`~repro.core.schema_expansion.ExpansionPipeline`.
 
@@ -666,6 +770,18 @@ class Connection:
         return self._cache.stats()
 
     # -- execution core ----------------------------------------------------------
+
+    def _crowd_spec(self) -> CrowdFillSpec | None:
+        """Session crowd-fill spec wired to the acquisition runtime."""
+        if self.session.value_source is None:
+            return None
+        return self.session.crowd_spec(runtime=self.acquisition_runtime())
+
+    def _predict_spec(self) -> PredictSpec | None:
+        """Session prediction spec wired to the acquisition runtime."""
+        if self.session.predictor is None:
+            return None
+        return self.session.predict_spec(runtime=self.acquisition_runtime())
 
     def run_statement(
         self,
@@ -775,15 +891,15 @@ class Connection:
                 return self._executor.open_select(
                     bound_plan,
                     missing_resolver=self.session.missing_resolver,
-                    crowd=self.session.crowd_spec(),
-                    predict=self.session.predict_spec(),
+                    crowd=self._crowd_spec(),
+                    predict=self._predict_spec(),
                     lock=self.catalog.lock,
                 )
             return self._executor.execute_select_plan(
                 bound_plan,
                 missing_resolver=self.session.missing_resolver,
-                crowd=self.session.crowd_spec(),
-                predict=self.session.predict_spec(),
+                crowd=self._crowd_spec(),
+                predict=self._predict_spec(),
                 explain=explain,
                 lock=self.catalog.lock,
             )
@@ -795,8 +911,8 @@ class Connection:
         return self._executor.execute(
             statement,
             missing_resolver=self.session.missing_resolver,
-            crowd=self.session.crowd_spec(),
-            predict=self.session.predict_spec(),
+            crowd=self._crowd_spec(),
+            predict=self._predict_spec(),
             explain=explain,
             lock=self.catalog.lock,
         )
@@ -815,8 +931,8 @@ class Connection:
             lambda: self._executor.execute(
                 statement,
                 missing_resolver=self.session.missing_resolver,
-                crowd=self.session.crowd_spec(),
-                predict=self.session.predict_spec(),
+                crowd=self._crowd_spec(),
+                predict=self._predict_spec(),
                 lock=self.catalog.lock,
             ),
             is_select=isinstance(statement, ast.SelectStatement),
@@ -862,16 +978,18 @@ class Connection:
             return self._executor.describe_physical_plan(
                 plan,
                 missing_resolver=self.session.missing_resolver,
-                crowd=self.session.crowd_spec(),
-                predict=self.session.predict_spec(),
+                crowd=self._crowd_spec(),
+                predict=self._predict_spec(),
             )
 
     def explain_analyze(self, sql: str, params: Sequence[Any] = ()) -> str:
         """Execute a SELECT and return its operator tree with row counts.
 
         Each line carries the operator's runtime counters — rows produced,
-        hash-build sizes and crowd-batch statistics (batches dispatched,
-        values filled) — the EXPLAIN ANALYZE of the engine.
+        inclusive wall time, hash-build sizes and crowd-batch statistics
+        (batches dispatched, values filled, answer-cache hits, coalesced
+        requests) — the EXPLAIN ANALYZE of the engine.  See
+        ``docs/operators.md`` for a worked transcript.
         """
         result = self.run_statement(sql, params, explain=True)
         assert isinstance(result, QueryResult)

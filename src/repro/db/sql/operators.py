@@ -11,7 +11,12 @@ operators, each a pull-based iterator:
   streaming out of a scan for MISSING values of crowd-sourced (perceptual)
   attributes and dispatches them to a batch :class:`ValueSource` in
   configurable batches: one coalesced platform call per attribute per
-  ``batch_size`` missing rows instead of one resolver call per row.  Under
+  ``batch_size`` missing rows instead of one resolver call per row.  When
+  the session has an :class:`~repro.crowd.runtime.AcquisitionRuntime`
+  (connections always do), the dispatches go through it: per-attribute
+  batches execute concurrently on a bounded worker pool, repeat requests
+  are served from the cross-query answer cache, and cells another query is
+  already acquiring are coalesced onto that in-flight dispatch.  Under
   hybrid acquisition it acquires only the planner-chosen *sample* of the
   missing rows (plus any low-confidence predicted cells up for
   re-acquisition) and leaves the rest to :class:`PredictFill`;
@@ -33,9 +38,11 @@ operators, each a pull-based iterator:
 Operators pull from their children lazily, so a ``LIMIT k`` query without an
 ORDER BY stops pulling from the scan after *k* rows instead of materializing
 the table, and cursors can stream rows to the client incrementally.  Every
-operator counts the rows it produced (``rows_out``); the EXPLAIN rendering
+operator counts the rows it produced (``rows_out``) and its inclusive
+wall-clock time (``wall_seconds``); the EXPLAIN rendering
 (:func:`describe_operator_tree`) shows the tree in pipeline order together
-with those counts and the crowd-batch statistics of any ``CrowdFill``.
+with those counters and the crowd-batch statistics of any ``CrowdFill``
+(batches dispatched, cells filled, answer-cache hits, coalesced requests).
 
 Item types flowing between operators:
 
@@ -49,11 +56,13 @@ from __future__ import annotations
 import math
 from contextlib import nullcontext
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, ContextManager, Iterator, Mapping, Optional, Sequence
 
 from repro.db.acquisition import (
     PROVENANCE_CROWD,
     PROVENANCE_PREDICTED,
+    PROVENANCE_STORED,
     PredictSpec,
     SamplePlan,
     plan_sample,
@@ -73,6 +82,7 @@ from repro.db.types import is_missing
 from repro.errors import ExecutionError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crowd.runtime import AcquisitionRuntime
     from repro.db.crowd_operators import ValueSource
 
 
@@ -105,12 +115,22 @@ class CrowdFillSpec:
         spending through a ``total_cost`` attribute (e.g.
         :class:`~repro.crowd.sources.SimulatedCrowdValueSource`) have each
         dispatch's cost charged against the session.
+    runtime:
+        Optional :class:`~repro.crowd.runtime.AcquisitionRuntime` the
+        operator dispatches through.  The runtime executes the
+        per-attribute batches concurrently on its bounded worker pool,
+        serves repeat requests from its cross-query
+        :class:`~repro.crowd.runtime.AnswerCache` and coalesces duplicate
+        cells with other in-flight queries.  Without one (``None``, the
+        bare-executor path) batches are dispatched directly and
+        sequentially.
     """
 
     source: "ValueSource"
     batch_size: int = 50
     write_back: bool = True
     session: Any = None
+    runtime: "AcquisitionRuntime | None" = None
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -141,6 +161,11 @@ class Operator:
         self.children: tuple[Operator, ...] = children
         #: Number of items this operator has produced so far.
         self.rows_out = 0
+        #: Inclusive wall-clock seconds spent producing items (contains the
+        #: children's time, like the "actual time" of EXPLAIN ANALYZE in
+        #: mainstream engines; for a CrowdFill it contains the platform
+        #: latency the batch dispatches waited on).
+        self.wall_seconds = 0.0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -157,7 +182,18 @@ class Operator:
     # -- iteration -----------------------------------------------------------
 
     def __iter__(self) -> Iterator[Any]:
-        for item in self._produce():
+        produce = self._produce()
+        while True:
+            # Time each pull, not the whole loop: the time a *consumer*
+            # spends between pulls (e.g. a client iterating a streaming
+            # cursor) must not be billed to this operator.
+            start = perf_counter()
+            try:
+                item = next(produce)
+            except StopIteration:
+                self.wall_seconds += perf_counter() - start
+                return
+            self.wall_seconds += perf_counter() - start
             self.rows_out += 1
             yield item
 
@@ -171,8 +207,18 @@ class Operator:
         return ""
 
     def stats(self) -> str:
-        """Runtime statistics rendered by EXPLAIN when the tree executed."""
-        return f"rows={self.rows_out}"
+        """Runtime statistics rendered by EXPLAIN when the tree executed.
+
+        Every operator reports its row count and inclusive wall time;
+        subclasses contribute extra counters through :meth:`extra_stats`.
+        """
+        parts = [f"rows={self.rows_out}", *self.extra_stats()]
+        parts.append(f"time={self.wall_seconds * 1000.0:.1f}ms")
+        return " ".join(parts)
+
+    def extra_stats(self) -> list[str]:
+        """Operator-specific ``key=value`` counters for EXPLAIN ANALYZE."""
+        return []
 
     def render_line(self) -> str:
         """The operator's EXPLAIN line (without indentation or stats)."""
@@ -205,6 +251,7 @@ def _copy_row(row: dict[str, Any]) -> dict[str, Any]:
 
 
 def _context_for(alias: str, rowid: Optional[int], row: dict[str, Any]) -> RowContext:
+    """Build the evaluation context of one scanned row."""
     context = RowContext()
     context.add_table_row(alias, row)
     if rowid is not None:
@@ -215,6 +262,7 @@ def _context_for(alias: str, rowid: Optional[int], row: dict[str, Any]) -> RowCo
 def _merge_context(
     context: RowContext, alias: str, rowid: Optional[int], row: dict[str, Any]
 ) -> RowContext:
+    """Extend a join's left-side context with one right-side row."""
     merged = RowContext.from_mapping(context.as_mapping())
     merged.add_table_row(alias, row)
     if rowid is not None:
@@ -304,9 +352,11 @@ class SeqScan(Operator):
         self.rows_scanned = 0
 
     def open(self) -> None:
+        """Snapshot the table's row references (runs under the catalog lock)."""
         self._snapshot = self._catalog.table(self.table).snapshot()
 
     def close(self) -> None:
+        """Release the snapshot."""
         self._snapshot = []
         super().close()
 
@@ -342,6 +392,11 @@ class IndexScan(Operator):
         self.rows_scanned = 0
 
     def open(self) -> None:
+        """Resolve the key and collect the matching rows via the hash index.
+
+        Falls back to a full snapshot when the index vanished between
+        planning and execution (the scan then behaves like a SeqScan).
+        """
         storage = self._catalog.table(self.table)
         index = storage.index_on(self.column)
         if index is None:  # index vanished between planning and execution
@@ -414,6 +469,10 @@ class CrowdFill(Operator):
         self.values_requested = 0
         #: Number of values actually obtained and patched in.
         self.values_filled = 0
+        #: Cells served from the runtime's cross-query AnswerCache.
+        self.cache_hits = 0
+        #: Cells joined onto another query's in-flight platform dispatch.
+        self.coalesced = 0
 
     def _needs_value(self, attribute: str, rowid: int, row: dict[str, Any]) -> bool:
         """Whether this operator should crowd-source ``row[attribute]``."""
@@ -452,6 +511,7 @@ class CrowdFill(Operator):
         self, pending: list[tuple[int, dict[str, Any]]]
     ) -> list[tuple[int, dict[str, Any]]]:
         session = self.spec.session
+        requests: list[tuple[str, list[tuple[int, dict[str, Any]]]]] = []
         for attribute in self.attributes:
             if session is not None and session.budget_exhausted:
                 # Budget ran out mid-query: emit the rows with their cells
@@ -462,8 +522,51 @@ class CrowdFill(Operator):
                 for rowid, row in pending
                 if self._needs_value(attribute, rowid, row)
             ]
-            if not items:
-                continue
+            if items:
+                requests.append((attribute, items))
+        if self.spec.runtime is not None:
+            self._flush_through_runtime(requests)
+        else:
+            self._flush_direct(requests)
+        return pending
+
+    def _flush_through_runtime(
+        self, requests: list[tuple[str, list[tuple[int, dict[str, Any]]]]]
+    ) -> None:
+        """Resolve the flush through the shared acquisition runtime.
+
+        The runtime serves what it can from the cross-query answer cache,
+        joins cells another query is already acquiring, and dispatches the
+        per-attribute remainders *concurrently* on its bounded worker
+        pool — the wall-clock win on multi-attribute queries.  Budget cost
+        for the dispatches this flush owns is charged inside the runtime.
+        """
+        if not requests:
+            return
+        outcome = self.spec.runtime.acquire(
+            self.spec.source,
+            self.table,
+            [
+                (attribute, [(rowid, dict(row)) for rowid, row in items])
+                for attribute, items in requests
+            ],
+            session=self.spec.session,
+        )
+        self.batches_dispatched += outcome.dispatches
+        self.cache_hits += outcome.cache_hits
+        self.coalesced += outcome.coalesced
+        for attribute, items in requests:
+            self.values_requested += len(items)
+            self._apply_resolved(attribute, items, outcome.values.get(attribute, {}))
+
+    def _flush_direct(
+        self, requests: list[tuple[str, list[tuple[int, dict[str, Any]]]]]
+    ) -> None:
+        """Legacy runtime-less path: one sequential dispatch per attribute."""
+        session = self.spec.session
+        for attribute, items in requests:
+            if session is not None and session.budget_exhausted:
+                break
             cost_before = getattr(self.spec.source, "total_cost", None)
             values = self.spec.source.request_values(
                 attribute, [(rowid, dict(row)) for rowid, row in items]
@@ -472,22 +575,62 @@ class CrowdFill(Operator):
             if session is not None and cost_before is not None:
                 session.record_cost(self.spec.source.total_cost - cost_before)
             self.values_requested += len(items)
-            resolved = {
-                rowid: value for rowid, value in values.items() if not is_missing(value)
-            }
-            for rowid, row in items:
-                if rowid in resolved:
-                    row[attribute] = resolved[rowid]
-                    self.values_filled += 1
-            if self.spec.write_back and resolved:
-                with self._lock:
-                    self._catalog.table(self.table).fill_values(
+            self._apply_resolved(attribute, items, values)
+
+    def _apply_resolved(
+        self,
+        attribute: str,
+        items: list[tuple[int, dict[str, Any]]],
+        values: Mapping[int, Any],
+    ) -> None:
+        """Patch obtained values into the in-flight rows and persist them.
+
+        The write-back re-checks each cell under the catalog lock: a
+        direct UPDATE that landed while the dispatch was in flight made
+        the stored value authoritative, so the crowd answer is dropped
+        for that cell (and evicted from the answer cache) instead of
+        silently overwriting application data.  Cells that are still
+        MISSING, or hold an earlier crowd/predicted value (re-acquisition),
+        are written as usual.
+        """
+        resolved = {
+            rowid: value for rowid, value in values.items() if not is_missing(value)
+        }
+        for rowid, row in items:
+            if rowid in resolved:
+                row[attribute] = resolved[rowid]
+                self.values_filled += 1
+        if self.spec.write_back and resolved:
+            with self._lock:
+                storage = self._catalog.table(self.table)
+                writable: dict[int, Any] = {}
+                for rowid, value in resolved.items():
+                    try:
+                        current = storage.get(rowid)
+                    except ExecutionError:
+                        continue  # row deleted mid-flight; nothing to write
+                    if (
+                        not is_missing(current.get(attribute))
+                        and storage.provenance_of(attribute, rowid).source
+                        == PROVENANCE_STORED
+                    ):
+                        # A concurrent direct UPDATE won the race; its
+                        # value is authoritative.  The cache may hold our
+                        # answer (the UPDATE's invalidation can have fired
+                        # before the dispatch cached it) — evict it.
+                        if self.spec.runtime is not None:
+                            self.spec.runtime.cache.invalidate(
+                                self.table, attribute, rowid
+                            )
+                        continue
+                    writable[rowid] = value
+                if writable:
+                    storage.fill_values(
                         attribute,
-                        resolved,
+                        writable,
                         skip_deleted=True,
                         provenance=PROVENANCE_CROWD,
                     )
-        return pending
 
     def detail(self) -> str:
         return ", ".join(f"{self.table}.{a}" for a in self.attributes)
@@ -499,11 +642,15 @@ class CrowdFill(Operator):
             options += f", sample={sampled}"
         return f"CrowdFill({options}) {self.detail()}"
 
-    def stats(self) -> str:
-        return (
-            f"rows={self.rows_out} batches={self.batches_dispatched} "
-            f"filled={self.values_filled}/{self.values_requested}"
-        )
+    def extra_stats(self) -> list[str]:
+        parts = [
+            f"batches={self.batches_dispatched}",
+            f"filled={self.values_filled}/{self.values_requested}",
+        ]
+        if self.spec.runtime is not None:
+            parts.append(f"cache_hits={self.cache_hits}")
+            parts.append(f"coalesced={self.coalesced}")
+        return parts
 
 
 class PredictFill(Operator):
@@ -593,11 +740,20 @@ class PredictFill(Operator):
             for rowid, row in rows
             if not is_missing(row.get(attribute)) and rowid not in previously_predicted
         ]
-        batch = self.spec.predictor.fit_predict(
-            attribute,
-            [(rowid, dict(row), value) for rowid, row, value in train],
-            [(rowid, dict(row)) for rowid, row in targets],
-        )
+        def fit_predict():
+            return self.spec.predictor.fit_predict(
+                attribute,
+                [(rowid, dict(row), value) for rowid, row, value in train],
+                [(rowid, dict(row)) for rowid, row in targets],
+            )
+
+        # Train/predict through the runtime's accounting chokepoint when
+        # one is configured (inline — prediction is CPU work and must not
+        # occupy the platform dispatch pool).
+        if self.spec.runtime is not None:
+            batch = self.spec.runtime.run_prediction(fit_predict)
+        else:
+            batch = fit_predict()
         self.model_kinds[attribute] = batch.model_kind
         self.training_sizes[attribute] = batch.training_size
         if batch.rmse is not None:
@@ -641,17 +797,16 @@ class PredictFill(Operator):
             options += f", min_confidence={policy.min_confidence:g}"
         return f"PredictFill({options}) {self.detail()}"
 
-    def stats(self) -> str:
-        rmse = (
-            " rmse="
-            + ",".join(f"{a}:{v:.3f}" for a, v in sorted(self.model_rmse.items()))
-            if self.model_rmse
-            else ""
-        )
-        return (
-            f"rows={self.rows_out} predicted={self.rows_predicted} "
-            f"crowd_calls_saved={self.crowd_calls_saved}{rmse}"
-        )
+    def extra_stats(self) -> list[str]:
+        parts = [
+            f"predicted={self.rows_predicted}",
+            f"crowd_calls_saved={self.crowd_calls_saved}",
+        ]
+        if self.model_rmse:
+            parts.append(
+                "rmse=" + ",".join(f"{a}:{v:.3f}" for a, v in sorted(self.model_rmse.items()))
+            )
+        return parts
 
 
 class Bind(Operator):
@@ -792,8 +947,8 @@ class HashJoin(Operator):
         )
         return f"{self.kind.upper()} {self.alias} ON {left} = {self.alias}.{self.right_key_column}"
 
-    def stats(self) -> str:
-        return f"rows={self.rows_out} build={self.build_rows}"
+    def extra_stats(self) -> list[str]:
+        return [f"build={self.build_rows}"]
 
 
 # ---------------------------------------------------------------------------
@@ -984,8 +1139,8 @@ class Aggregate(Operator):
         keys = ", ".join(expression_label(e) for e in self.group_by) or "<all>"
         return f"BY {keys}"
 
-    def stats(self) -> str:
-        return f"rows={self.rows_out} groups={self.groups_built}"
+    def extra_stats(self) -> list[str]:
+        return [f"groups={self.groups_built}"]
 
 
 class Distinct(Operator):
@@ -1202,6 +1357,12 @@ def _lower_scan(
     predict: PredictSpec | None,
     lock: ContextManager[Any] | None,
 ) -> Operator:
+    """Lower one table scan, stacking acquisition operators as configured.
+
+    The shape depends on the session: bare scan (no crowd config),
+    ``scan -> CrowdFill`` (exhaustive crowd-only acquisition), or the
+    hybrid ``scan -> CrowdFill(sample) -> PredictFill`` two-stage plan.
+    """
     source: Operator
     if scan.uses_index and scan.index_value is not None:
         source = IndexScan(

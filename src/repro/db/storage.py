@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.db.schema import Column, TableSchema
+from repro.db.schema import AttributeKind, Column, TableSchema
 from repro.db.types import MISSING, is_missing
 from repro.errors import ExecutionError, IntegrityError, UnknownColumnError
 
@@ -86,6 +86,14 @@ class TableStorage:
         #: index added).  The catalog installs its version bump here so
         #: prepared-statement caches can invalidate stale plans.
         self.on_schema_change: Callable[[], Any] | None = None
+        #: Optional callback ``(column, rowid)`` invoked when a direct
+        #: UPDATE overwrites a cell.  The catalog forwards it to the
+        #: acquisition runtime's cross-query AnswerCache so a stale crowd
+        #: answer can never shadow an application-stored value.  Writes by
+        #: the acquisition layers (:meth:`fill_values`) do *not* fire it:
+        #: the written value is the cached value.
+        self.on_cell_invalidated: Callable[[str, int], Any] | None = None
+        self._suppress_invalidation = False
         if schema.primary_key is not None:
             self._pk_index = self.create_index(schema.primary_key)
 
@@ -146,12 +154,22 @@ class TableStorage:
             ) from exc
 
     def delete(self, rowid: int) -> None:
-        """Delete the row stored under *rowid*."""
+        """Delete the row stored under *rowid*.
+
+        Rowids are never reused, so cached crowd answers for the deleted
+        row could not poison later rows — but they would squat in the
+        answer cache's LRU forever, so the perceptual cells (the only
+        ones the crowd layer caches) are invalidated eagerly.
+        """
         row = self.get(rowid)
         for index in self._indexes.values():
             index.remove(rowid, row.get(index.column))
         for entries in self._provenance.values():
             entries.pop(rowid, None)
+        if self.on_cell_invalidated is not None:
+            for name in self.schema.column_names:
+                if self.schema.column(name).kind is AttributeKind.PERCEPTUAL:
+                    self.on_cell_invalidated(name, rowid)
         del self._rows[rowid]
 
     def update(self, rowid: int, changes: dict[str, Any]) -> Row:
@@ -176,6 +194,8 @@ class TableStorage:
             entries = self._provenance.get(column.name)
             if entries is not None:
                 entries.pop(rowid, None)
+            if self.on_cell_invalidated is not None and not self._suppress_invalidation:
+                self.on_cell_invalidated(column.name, rowid)
         return row
 
     # -- scans ----------------------------------------------------------------
@@ -269,16 +289,25 @@ class TableStorage:
         column = self.schema.column(column_name)
         confidences = confidences or {}
         updated = 0
-        for rowid, value in values.items():
-            if skip_deleted and rowid not in self._rows:
-                continue
-            self.update(rowid, {column.name: value})
-            if provenance is not None:
-                self._provenance.setdefault(column.name, {})[rowid] = ValueProvenance(
-                    source=provenance,
-                    confidence=float(confidences.get(rowid, 1.0)),
-                )
-            updated += 1
+        # Acquisition write-backs must not fire cell invalidations: the
+        # value being persisted is exactly the value the runtime cached, so
+        # evicting it would only forfeit valid cache entries.  (Callers
+        # hold the catalog lock on shared catalogs, so the flag is not
+        # racing other writers.)
+        self._suppress_invalidation = True
+        try:
+            for rowid, value in values.items():
+                if skip_deleted and rowid not in self._rows:
+                    continue
+                self.update(rowid, {column.name: value})
+                if provenance is not None:
+                    self._provenance.setdefault(column.name, {})[rowid] = ValueProvenance(
+                        source=provenance,
+                        confidence=float(confidences.get(rowid, 1.0)),
+                    )
+                updated += 1
+        finally:
+            self._suppress_invalidation = False
         return updated
 
     # -- provenance accounting -------------------------------------------------

@@ -66,15 +66,30 @@ class TestDeterminism:
             )
         assert runs[0] == runs[1]
 
-    def test_dispatches_use_independent_seeds(self, truth):
-        # The same batch asked twice through a seeded source must not reuse
-        # one rng stream per attribute: the dispatch ordinal feeds the seed.
-        items = [(rowid, {"item_id": rowid}) for rowid in range(1, 11)]
+    def test_child_seeds_derive_from_request_identity(self, truth):
+        # Child seeds hash the request (attribute + item ids), not the
+        # dispatch ordinal: different batches get independent streams ...
+        items = [(rowid, {"item_id": rowid}) for rowid in range(1, 21)]
         source = self.make_source(truth, seed=42)
-        source.request_values("is_comedy", items)
-        source.request_values("is_comedy", items)
+        source.request_values("is_comedy", items[:10])
+        source.request_values("is_comedy", items[10:])
         first, second = source.runs
         assert [j.worker_id for j in first.judgments] != [
+            j.worker_id for j in second.judgments
+        ]
+
+    def test_identical_batches_reproduce_identical_answers(self, truth):
+        # ... while re-asking the exact same batch deterministically
+        # reproduces the same judgments, whatever order dispatches ran in.
+        # This is the invariant concurrent acquisition rests on: answers
+        # are a pure function of the request, not of scheduling.
+        items = [(rowid, {"item_id": rowid}) for rowid in range(1, 11)]
+        source = self.make_source(truth, seed=42)
+        first_values = source.request_values("is_comedy", items)
+        second_values = source.request_values("is_comedy", items)
+        first, second = source.runs
+        assert first_values == second_values
+        assert [j.worker_id for j in first.judgments] == [
             j.worker_id for j in second.judgments
         ]
 

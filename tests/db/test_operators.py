@@ -243,8 +243,13 @@ class TestCrowdFillBatching:
         (count,) = conn.execute("SELECT count(*) FROM items WHERE appeal > 0.5").fetchone()
         assert count == 4
         assert conn.missing_count("items", "appeal") == 4
-        conn.execute("SELECT count(*) FROM items WHERE appeal > 0.5").fetchone()
-        assert len(source.calls) == 2
+        # The cells stay MISSING in storage, but the repeat query is served
+        # from the runtime's cross-query AnswerCache: same answer, zero
+        # additional platform calls.
+        (count,) = conn.execute("SELECT count(*) FROM items WHERE appeal > 0.5").fetchone()
+        assert count == 4
+        assert len(source.calls) == 1
+        assert conn.acquisition_runtime().cache.stats().hits == 4
 
     def test_partial_answers_leave_rest_missing(self):
         class PartialSource:
