@@ -1,0 +1,111 @@
+"""Benchmark-regression gate: compare BENCH_results.json against baselines.
+
+CI's ``bench-regression`` job runs the ablation benchmarks (which emit
+``benchmarks/results/BENCH_results.json``, a machine-readable map of
+speedup ratios per ablation) and then this script, which compares every
+baseline metric in ``benchmarks/baselines.json`` against the measured
+value within a tolerance band:
+
+* ``{"min": M}`` metrics fail when ``value < M * (1 - tolerance)``;
+* ``{"max": M}`` metrics fail when ``value > M + tolerance_abs``
+  (the absolute band exists for hard-zero metrics like "platform calls
+  after restart", where a relative band would be meaningless).
+
+A metric that is listed in the baselines but missing from the results is
+also a failure — a silently skipped benchmark must not pass the gate.
+Exit status: 0 when everything holds, 1 on any regression.
+
+Usage::
+
+    python benchmarks/compare_baselines.py \
+        [--results benchmarks/results/BENCH_results.json] \
+        [--baselines benchmarks/baselines.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        sys.exit(f"bench-regression: {path} does not exist (did the benchmarks run?)")
+    except ValueError as exc:
+        sys.exit(f"bench-regression: {path} is not valid JSON: {exc}")
+
+
+def compare(results: dict, baselines: dict) -> list[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    tolerance = float(baselines.get("tolerance", 0.0))
+    tolerance_abs = float(baselines.get("tolerance_abs", 0.0))
+    measured = results.get("metrics", {})
+    failures: list[str] = []
+    for name, bounds in baselines["metrics"].items():
+        if name not in measured:
+            failures.append(f"{name}: missing from results (benchmark did not run?)")
+            continue
+        value = float(measured[name])
+        if "min" in bounds:
+            floor = float(bounds["min"]) * (1.0 - tolerance)
+            if value < floor:
+                failures.append(
+                    f"{name}: {value:.3f} < {floor:.3f} "
+                    f"(baseline {bounds['min']} - {tolerance:.0%} tolerance)"
+                )
+        if "max" in bounds:
+            ceiling = float(bounds["max"]) + tolerance_abs
+            if value > ceiling:
+                failures.append(
+                    f"{name}: {value:.3f} > {ceiling:.3f} "
+                    f"(baseline {bounds['max']} + {tolerance_abs} tolerance)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=BENCH_DIR / "results" / "BENCH_results.json",
+        help="machine-readable benchmark output (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=BENCH_DIR / "baselines.json",
+        help="committed baseline bounds (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    results = load(args.results)
+    baselines = load(args.baselines)
+    measured = results.get("metrics", {})
+
+    width = max((len(name) for name in baselines["metrics"]), default=10)
+    print(f"bench-regression gate (scale={results.get('scale', '?')}):")
+    for name, bounds in sorted(baselines["metrics"].items()):
+        bound = f">= {bounds['min']}" if "min" in bounds else f"<= {bounds['max']}"
+        value = measured.get(name, "MISSING")
+        value = f"{value:.3f}" if isinstance(value, (int, float)) else value
+        print(f"  {name:<{width}}  measured {value:>8}  baseline {bound}")
+
+    failures = compare(results, baselines)
+    if failures:
+        print("\nREGRESSIONS:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nall benchmark metrics within the tolerance band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

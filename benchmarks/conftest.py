@@ -11,6 +11,7 @@ or ``paper`` (approximates the paper's full corpus size; slow).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -20,6 +21,11 @@ from repro.experiments.context import MovieExperimentConfig, get_movie_context
 from repro.experiments.crowd_quality import run_crowd_quality_experiments
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Machine-readable benchmark metrics (speedup ratios per ablation),
+#: consumed by ``benchmarks/compare_baselines.py`` and CI's
+#: ``bench-regression`` job.
+BENCH_RESULTS_PATH = RESULTS_DIR / "BENCH_results.json"
 
 
 def bench_scale() -> str:
@@ -65,3 +71,32 @@ def report_writer():
 def repetitions() -> int:
     """Number of random repetitions per cell (the paper uses 20)."""
     return {"small": 2, "paper": 20}.get(bench_scale(), 3)
+
+
+@pytest.fixture(scope="session")
+def metric_writer():
+    """Callable recording one named metric into ``BENCH_results.json``.
+
+    The file is rewritten after every recorded metric (not at session
+    teardown), so a crashed or ``-x``-interrupted run still leaves the
+    metrics it produced on disk for the regression gate to inspect.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    # Start each session clean so renamed/removed metrics cannot linger
+    # from an earlier run and mask a regression.
+    BENCH_RESULTS_PATH.unlink(missing_ok=True)
+
+    def record(name: str, value: float) -> None:
+        document = {"scale": bench_scale(), "metrics": {}}
+        if BENCH_RESULTS_PATH.exists():
+            try:
+                document = json.loads(BENCH_RESULTS_PATH.read_text(encoding="utf-8"))
+            except ValueError:
+                pass  # a torn previous write must not fail the benchmark
+        document["scale"] = bench_scale()
+        document.setdefault("metrics", {})[name] = round(float(value), 4)
+        BENCH_RESULTS_PATH.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    return record

@@ -60,7 +60,7 @@ from repro.db import Connection, CrowdDatabase, Cursor, SessionContext, connect
 from repro.errors import ReproError
 from repro.perceptual import EuclideanEmbeddingModel, PerceptualSpace, RatingDataset, SVDModel
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Connection",

@@ -45,6 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
     demo = subparsers.add_parser("demo", help="run the end-to-end schema-expansion demo")
     demo.add_argument("--movies", type=int, default=300, help="number of synthetic movies")
     demo.add_argument("--seed", type=int, default=7, help="random seed")
+    demo.add_argument(
+        "--db-path",
+        default=None,
+        help=(
+            "persist the demo database to this directory; a rerun against the "
+            "same directory reuses the paid crowd answers (zero crowd spend)"
+        ),
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
@@ -87,13 +95,20 @@ def _run_demo(args: argparse.Namespace) -> int:
     corpus = build_movie_corpus(n_movies=args.movies, n_users=args.movies * 2, seed=args.seed)
     print(f"Built corpus: {corpus.summary()}")
 
-    conn = repro.connect()
+    db_path = getattr(args, "db_path", None)
+    conn = repro.connect(path=db_path) if db_path else repro.connect()
     cursor = conn.cursor()
-    cursor.execute("CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT, year INTEGER)")
-    cursor.executemany(
-        "INSERT INTO movies (item_id, name, year) VALUES (?, ?, ?)",
-        [(r["item_id"], r["name"], r["year"]) for r in corpus.items],
-    )
+    fresh = "movies" not in conn.table_names()
+    if fresh:
+        cursor.execute(
+            "CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT, year INTEGER)"
+        )
+        cursor.executemany(
+            "INSERT INTO movies (item_id, name, year) VALUES (?, ?, ?)",
+            [(r["item_id"], r["name"], r["year"]) for r in corpus.items],
+        )
+    else:
+        print(f"Reopened persisted database at {db_path} (snapshot + WAL replay)")
 
     model = EuclideanEmbeddingModel(FactorModelConfig(n_factors=16, n_epochs=15, seed=args.seed))
     model.fit(corpus.ratings)
@@ -119,11 +134,21 @@ def _run_demo(args: argparse.Namespace) -> int:
     print("\nTop comedies after query-driven schema expansion:")
     for name, year in cursor:
         print(f"  {name} ({year})")
-    report = expander.reports[0]
-    print(
-        f"\nFilled {report.rows_filled}/{report.rows_total} rows for ${report.cost:.2f} "
-        f"in {report.minutes:.0f} simulated minutes ({report.judgments} judgments)."
-    )
+    if expander.reports:
+        report = expander.reports[0]
+        print(
+            f"\nFilled {report.rows_filled}/{report.rows_total} rows for ${report.cost:.2f} "
+            f"in {report.minutes:.0f} simulated minutes ({report.judgments} judgments)."
+        )
+    else:
+        print("\nServed from persisted crowd answers: no new crowd spend.")
+    if conn.durability is not None:
+        stats = conn.durability.stats()
+        print(
+            "Durability: wal_records={wal_records} fsyncs={fsyncs} "
+            "checkpoints={checkpoints} replayed={records_replayed}".format(**stats)
+        )
+        conn.close()
     return 0
 
 

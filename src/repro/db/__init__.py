@@ -32,6 +32,7 @@ from repro.db.connection import (
 )
 from repro.db.crowd_operators import ValueSource
 from repro.db.database import CrowdDatabase
+from repro.db.durability import DurabilityManager, open_database
 from repro.db.schema import AttributeKind, Column, ColumnType, TableSchema
 from repro.db.sql.executor import QueryResult, SelectStream
 from repro.db.sql.operators import CrowdFillSpec, Operator
@@ -50,6 +51,7 @@ __all__ = [
     "CrowdDatabase",
     "CrowdFillSpec",
     "Cursor",
+    "DurabilityManager",
     "ExpansionHandler",
     "MISSING",
     "Missing",
@@ -69,5 +71,6 @@ __all__ = [
     "coerce_value",
     "connect",
     "is_missing",
+    "open_database",
     "plan_sample",
 ]

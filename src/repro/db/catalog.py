@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import threading
 import weakref
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.db.schema import TableSchema
 from repro.db.storage import TableStorage
@@ -22,6 +22,7 @@ from repro.errors import DuplicateTableError, UnknownTableError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (crowd imports db)
     from repro.crowd.runtime import AcquisitionRuntime
+    from repro.db.durability import DurabilityManager
 
 
 class Catalog:
@@ -39,6 +40,16 @@ class Catalog:
         #: not pin its cache and worker pool for the catalog's lifetime.
         self._runtime: "AcquisitionRuntime | None" = None
         self._runtimes: "weakref.WeakSet[AcquisitionRuntime]" = weakref.WeakSet()
+        #: The durability manager of a persistent catalog (None in memory).
+        #: Installed by :meth:`attach_durability` after recovery completes.
+        self.durability: "DurabilityManager | None" = None
+        #: Monotone per-table-name rowid high-water marks.  Recorded when a
+        #: table is dropped and applied when a table of the same name is
+        #: created, so recreated (and recovered) tables never reuse rowids.
+        self._rowid_watermarks: dict[str, int] = {}
+        #: Crowd answers recovered from persisted provenance, used to warm
+        #: the AnswerCache of every runtime that registers afterwards.
+        self._warm_answers: dict[tuple[str, str, int], Any] = {}
 
     # -- acquisition runtime ------------------------------------------------------
 
@@ -68,15 +79,34 @@ class Catalog:
         corresponding :class:`~repro.crowd.runtime.AnswerCache` entries of
         every runtime observing this catalog, including session-private
         runtimes that bypass :meth:`acquisition_runtime`.
+
+        A runtime registering for the first time on a *recovered* catalog
+        is warm-started: crowd answers reloaded from persisted provenance
+        are inserted into its :class:`~repro.crowd.runtime.AnswerCache`,
+        so a restarted process serves repeat crowd queries with zero
+        platform calls.
         """
         with self.lock:
+            if runtime in self._runtimes:
+                return
             self._runtimes.add(runtime)
+            for (table, column, rowid), value in self._warm_answers.items():
+                runtime.cache.put(table, column, rowid, value)
+
+    def set_warm_answers(self, answers: Mapping[tuple[str, str, int], Any]) -> None:
+        """Install the recovered crowd answers used to warm new runtimes."""
+        with self.lock:
+            self._warm_answers = dict(answers)
 
     def _invalidate_cell(self, table: str, column: str, rowid: int) -> None:
+        self._warm_answers.pop((table, column, rowid), None)
         for runtime in list(self._runtimes):
             runtime.cache.invalidate(table, column, rowid)
 
     def _invalidate_table(self, table: str) -> None:
+        self._warm_answers = {
+            key: value for key, value in self._warm_answers.items() if key[0] != table
+        }
         for runtime in list(self._runtimes):
             runtime.cache.invalidate_table(table)
 
@@ -118,7 +148,12 @@ class Catalog:
         return self._version
 
     def create_table(self, schema: TableSchema, *, if_not_exists: bool = False) -> TableStorage:
-        """Create a table for *schema* and return its storage."""
+        """Create a table for *schema* and return its storage.
+
+        A table that reuses the name of a previously dropped one continues
+        that table's rowid sequence (the recorded high-water mark) instead
+        of restarting at 1 — rowids are never reused across incarnations.
+        """
         key = schema.name
         if key in self._tables:
             if if_not_exists:
@@ -131,7 +166,13 @@ class Catalog:
                 table, column, rowid
             )
         )
+        watermark = self._rowid_watermarks.get(key)
+        if watermark is not None:
+            storage.advance_rowid(watermark)
         self._tables[key] = storage
+        if self.durability is not None:
+            storage.journal = self.durability.journal_for(storage)
+            self.durability.log_create_table(storage)
         self.bump_version()
         return storage
 
@@ -142,13 +183,44 @@ class Catalog:
             if if_exists:
                 return
             raise UnknownTableError(name)
-        self._tables[key].on_schema_change = None
-        self._tables[key].on_cell_invalidated = None
+        storage = self._tables[key]
+        # Carry the rowid high-water mark forward: a re-created table of
+        # the same name continues the sequence instead of reusing rowids.
+        self.record_rowid_watermark(key, storage.next_rowid)
+        storage.on_schema_change = None
+        storage.on_cell_invalidated = None
+        storage.journal = None
         del self._tables[key]
-        # Rowids restart at 1 for a re-created table of the same name, so
-        # stale cached answers for the old incarnation must not survive.
+        # Even though rowids are never reused, dead entries must not squat
+        # in the answer caches' LRU capacity.
         self._invalidate_table(key)
+        if self.durability is not None:
+            self.durability.log_drop_table(key)
         self.bump_version()
+
+    # -- durability ---------------------------------------------------------------
+
+    def attach_durability(self, manager: "DurabilityManager") -> None:
+        """Attach *manager* after recovery: journal every future mutation.
+
+        Existing tables (restored from snapshot + WAL) get their journals
+        installed without re-logging their creation — they are already on
+        disk; only mutations from here on append records.
+        """
+        with self.lock:
+            self.durability = manager
+            for storage in self._tables.values():
+                storage.journal = manager.journal_for(storage)
+
+    def rowid_watermarks(self) -> dict[str, int]:
+        """Per-table-name rowid high-water marks of *dropped* tables."""
+        return dict(self._rowid_watermarks)
+
+    def record_rowid_watermark(self, name: str, watermark: int) -> None:
+        """Record (monotonically) the rowid high-water mark for *name*."""
+        key = name.lower()
+        if watermark > self._rowid_watermarks.get(key, 0):
+            self._rowid_watermarks[key] = watermark
 
     def table(self, name: str) -> TableStorage:
         """Return the storage of table *name* or raise UnknownTableError."""

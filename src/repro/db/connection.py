@@ -585,6 +585,9 @@ class Connection:
         self._lock = threading.RLock()
         self._statement_log: deque[str] = deque(maxlen=statement_log_size)
         self._runtime_knobs_warned = False
+        #: True for the connection :func:`connect` opened a database
+        #: directory with — closing it closes the durability manager too.
+        self._owns_durability = False
         self._closed = False
 
     # -- DB-API surface -----------------------------------------------------------
@@ -613,17 +616,54 @@ class Connection:
         return results
 
     def commit(self) -> None:
-        """No-op: the in-memory engine auto-commits every statement."""
+        """Force durability of acknowledged statements.
+
+        The engine auto-commits every statement logically; on a durable
+        database (``connect(path=...)``) this additionally flushes the
+        write-ahead log, so everything executed so far survives a crash
+        even under group-commit (``synchronous=normal``) batching.  On an
+        in-memory database it is a no-op.
+        """
         self._check_open()
+        if self.catalog.durability is not None:
+            self.catalog.durability.flush()
 
     def rollback(self) -> None:
         """Unsupported: the in-memory engine has no transactions."""
         raise ExecutionError("the crowd database does not support transactions")
 
+    def checkpoint(self) -> None:
+        """Snapshot the catalog to disk and truncate the write-ahead log.
+
+        Shortcut for ``PRAGMA wal_checkpoint``; requires a durable
+        database opened via :func:`connect` with a ``path``.
+        """
+        self._check_open()
+        if self.catalog.durability is None:
+            raise ExecutionError(
+                "checkpoint() requires a durable database "
+                "(open one with repro.connect(path=...))"
+            )
+        self.catalog.durability.checkpoint()
+
+    @property
+    def durability(self) -> Any:
+        """The catalog's :class:`~repro.db.durability.DurabilityManager` (or None)."""
+        return self.catalog.durability
+
     def close(self) -> None:
-        """Close the connection; subsequent statement execution fails."""
+        """Close the connection; subsequent statement execution fails.
+
+        The connection that opened a database directory also flushes and
+        closes its durability manager (releasing the directory lock);
+        connections merely *sharing* a durable catalog leave it open.
+        """
+        if self._closed:
+            return
         self._closed = True
         self._cache.clear()
+        if self._owns_durability and self.catalog.durability is not None:
+            self.catalog.durability.close()
 
     @property
     def closed(self) -> bool:
@@ -953,6 +993,14 @@ class Connection:
     def _check_open(self) -> None:
         if self._closed:
             raise ExecutionError("connection is closed")
+        durability = self.catalog.durability
+        if durability is not None and durability.closed:
+            # The owning connection closed the database directory; a
+            # sharer must fail *before* executing, or its mutations would
+            # apply in memory without ever reaching the (closed) WAL.
+            raise ExecutionError(
+                "the database directory backing this catalog is closed"
+            )
 
     # -- introspection and plan inspection ---------------------------------------
 
@@ -1082,12 +1130,15 @@ class Connection:
 def connect(
     catalog: Catalog | None = None,
     *,
+    path: Any = None,
+    synchronous: str | None = None,
+    checkpoint_interval: int | None = _UNSET,
     session: SessionContext | None = None,
     statement_cache_size: int = 128,
     statement_log_size: int | None = 1000,
     hash_joins: bool = True,
 ) -> Connection:
-    """Open a connection to a new or shared in-memory crowd database.
+    """Open a connection to an in-memory or durable crowd database.
 
     This is the module-level DB-API entry point::
 
@@ -1097,11 +1148,46 @@ def connect(
     Pass an existing :class:`~repro.db.catalog.Catalog` to share one set of
     tables between several connections, each with its own
     :class:`SessionContext` (resolver, expansion policy, budget).
+
+    With ``path`` the database lives in a directory on disk and survives
+    restarts: opening replays the last snapshot plus the write-ahead-log
+    tail (recovering paid crowd answers, their provenance and confidence,
+    and warm-starting the answer cache), and every later statement is
+    logged before it is acknowledged.  ``synchronous`` picks the fsync
+    policy (``"full"`` per statement, ``"normal"`` group commit,
+    ``"off"``) and ``checkpoint_interval`` the automatic-snapshot cadence
+    in WAL records (``None`` disables) — both adjustable at runtime via
+    ``PRAGMA``.  Closing this connection closes the database directory;
+    see ``docs/persistence.md`` for the file format and crash-safety
+    guarantees.
     """
-    return Connection(
+    owns_durability = False
+    if path is None:
+        if synchronous is not None or checkpoint_interval is not _UNSET:
+            # Silently accepting the knobs would let e.g.
+            # connect(synchronous="full") look durable while nothing is.
+            raise ValueError(
+                "synchronous/checkpoint_interval are durability knobs: "
+                "they require path=..."
+            )
+    else:
+        if catalog is not None:
+            raise ValueError("pass either a catalog or a path, not both")
+        from repro.db.durability import DurabilityManager
+
+        manager = DurabilityManager(
+            path,
+            synchronous="normal" if synchronous is None else synchronous,
+            checkpoint_interval=1000 if checkpoint_interval is _UNSET else checkpoint_interval,
+        )
+        catalog = manager.catalog
+        owns_durability = True
+    connection = Connection(
         catalog,
         session=session,
         statement_cache_size=statement_cache_size,
         statement_log_size=statement_log_size,
         hash_joins=hash_joins,
     )
+    connection._owns_durability = owns_durability
+    return connection

@@ -1,0 +1,206 @@
+"""Versioned catalog snapshots: the checkpoint half of the durability layer.
+
+A snapshot is one JSON document holding the complete durable state of a
+:class:`~repro.db.catalog.Catalog`: every table's schema (including
+expanded perceptual columns), rows keyed by rowid, secondary indexes,
+per-cell provenance and confidence (so recovered crowd answers are still
+recognizable as crowd answers and can warm the
+:class:`~repro.crowd.runtime.AnswerCache`), the per-table rowid high-water
+marks, and ``last_lsn`` — the WAL position the snapshot covers.  Replay
+after a restart is *snapshot + WAL tail*: records with ``lsn <=
+last_lsn`` are skipped, which is what makes replay idempotent even when a
+crash lands between snapshot publication and WAL truncation.
+
+Snapshots are published atomically: written to a temp file, fsynced,
+``os.replace``d over ``snapshot.json``, then the directory entry is
+fsynced.  A crash mid-checkpoint therefore leaves either the old snapshot
+or the new one, never a half-written hybrid.  ``format_version`` gates
+forward compatibility — opening a directory written by a newer format
+raises :class:`~repro.errors.PersistenceError` instead of silently
+misreading it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.db.schema import AttributeKind, Column, TableSchema
+from repro.db.storage import TableStorage, ValueProvenance
+from repro.db.types import ColumnType
+from repro.db.wal import decode_row, decode_value, encode_row, encode_value
+from repro.errors import PersistenceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.catalog import Catalog
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "SNAPSHOT_NAME",
+    "catalog_state",
+    "load_snapshot",
+    "restore_catalog",
+    "write_snapshot",
+]
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: File name of the current snapshot inside a database directory.
+SNAPSHOT_NAME = "snapshot.json"
+
+
+# ---------------------------------------------------------------------------
+# Schema (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def column_state(column: Column) -> dict[str, Any]:
+    """Serialize one column definition."""
+    return {
+        "name": column.name,
+        "type": column.type.value,
+        "kind": column.kind.value,
+        "nullable": column.nullable,
+        "default": encode_value(column.default),
+    }
+
+
+def column_from_state(state: dict[str, Any]) -> Column:
+    """Inverse of :func:`column_state`."""
+    return Column(
+        name=state["name"],
+        type=ColumnType(state["type"]),
+        kind=AttributeKind(state["kind"]),
+        nullable=bool(state["nullable"]),
+        default=decode_value(state["default"]),
+    )
+
+
+def schema_state(schema: TableSchema) -> dict[str, Any]:
+    """Serialize a table schema (columns in declaration order)."""
+    return {
+        "name": schema.name,
+        "primary_key": schema.primary_key,
+        "columns": [column_state(column) for column in schema],
+    }
+
+
+def schema_from_state(state: dict[str, Any]) -> TableSchema:
+    """Inverse of :func:`schema_state`."""
+    return TableSchema(
+        state["name"],
+        [column_from_state(column) for column in state["columns"]],
+        primary_key=state["primary_key"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table and catalog (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def table_state(storage: TableStorage) -> dict[str, Any]:
+    """Serialize one table: schema, rows, indexes, provenance, rowid mark."""
+    provenance: dict[str, dict[str, Any]] = {}
+    for column in storage.schema.column_names:
+        entries = storage.provenance_map(column)
+        if entries:
+            provenance[column] = {
+                str(rowid): {"source": entry.source, "confidence": entry.confidence}
+                for rowid, entry in entries.items()
+            }
+    return {
+        "schema": schema_state(storage.schema),
+        "next_rowid": storage.next_rowid,
+        "rows": {str(rowid): encode_row(row) for rowid, row in storage.scan()},
+        "indexes": sorted(storage.index_columns()),
+        "provenance": provenance,
+    }
+
+
+def restore_table(catalog: "Catalog", state: dict[str, Any]) -> TableStorage:
+    """Recreate one table inside *catalog* from its serialized state."""
+    storage = catalog.create_table(schema_from_state(state["schema"]))
+    for rowid, row in state["rows"].items():
+        storage.restore_row(int(rowid), decode_row(row))
+    storage.advance_rowid(int(state["next_rowid"]))
+    for column in state["indexes"]:
+        storage.create_index(column)
+    for column, entries in state["provenance"].items():
+        for rowid, entry in entries.items():
+            storage.set_provenance(
+                column,
+                int(rowid),
+                ValueProvenance(
+                    source=entry["source"], confidence=float(entry["confidence"])
+                ),
+            )
+    return storage
+
+
+def catalog_state(catalog: "Catalog", *, last_lsn: int) -> dict[str, Any]:
+    """Serialize a whole catalog as a snapshot document."""
+    return {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "last_lsn": int(last_lsn),
+        "tables": [table_state(storage) for storage in catalog],
+        "rowid_watermarks": dict(catalog.rowid_watermarks()),
+    }
+
+
+def restore_catalog(catalog: "Catalog", state: dict[str, Any]) -> None:
+    """Populate an empty *catalog* from a snapshot document."""
+    for table in state["tables"]:
+        restore_table(catalog, table)
+    for name, watermark in state.get("rowid_watermarks", {}).items():
+        catalog.record_rowid_watermark(name, int(watermark))
+
+
+# ---------------------------------------------------------------------------
+# Disk I/O
+# ---------------------------------------------------------------------------
+
+
+def write_snapshot(directory: str | os.PathLike, state: dict[str, Any]) -> Path:
+    """Atomically publish *state* as the directory's current snapshot.
+
+    temp-write + fsync + rename + directory fsync: a reader never sees a
+    partially written snapshot, and after a crash the rename either
+    happened completely or not at all.
+    """
+    directory = Path(directory)
+    target = directory / SNAPSHOT_NAME
+    temp = directory / (SNAPSHOT_NAME + ".tmp")
+    blob = json.dumps(state, separators=(",", ":")).encode("utf-8")
+    with open(temp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, target)
+    directory_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(directory_fd)
+    finally:
+        os.close(directory_fd)
+    return target
+
+
+def load_snapshot(directory: str | os.PathLike) -> dict[str, Any] | None:
+    """Load the directory's snapshot, or None when none was published yet."""
+    path = Path(directory) / SNAPSHOT_NAME
+    if not path.exists():
+        return None
+    try:
+        state = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise PersistenceError(f"snapshot {path} is not valid JSON: {exc}") from exc
+    version = state.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise PersistenceError(
+            f"snapshot {path} has format version {version!r}; this build reads "
+            f"version {SNAPSHOT_FORMAT_VERSION}"
+        )
+    return state

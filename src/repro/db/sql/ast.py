@@ -321,6 +321,19 @@ class DeleteStatement(Statement):
     where: Optional[Expression] = None
 
 
+@dataclass(frozen=True)
+class PragmaStatement(Statement):
+    """PRAGMA name [= value] — durability and engine knobs.
+
+    Without a value the pragma is a *read* (returns the current setting);
+    with one it is a *write* (or an action, e.g. ``PRAGMA
+    wal_checkpoint``).  Values are plain scalars, never expressions.
+    """
+
+    name: str
+    value: Union[str, int, float, None] = None
+
+
 #: Convenience union of all statement types.
 AnyStatement = Union[
     SelectStatement,
@@ -330,4 +343,5 @@ AnyStatement = Union[
     InsertStatement,
     UpdateStatement,
     DeleteStatement,
+    PragmaStatement,
 ]

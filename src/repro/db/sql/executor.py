@@ -264,6 +264,8 @@ class Executor:
                 plan_description=description,
             )
         with guard:
+            if isinstance(statement, ast.PragmaStatement):
+                return self._execute_pragma(statement)
             if isinstance(statement, ast.CreateTableStatement):
                 return self._execute_create_table(statement)
             if isinstance(statement, ast.CreateIndexStatement):
@@ -329,7 +331,16 @@ class Executor:
         )
         result = stream.materialize()
         if explain:
-            result.plan_description = stream.describe(include_stats=True)
+            description = stream.describe(include_stats=True)
+            durability = self._catalog.durability
+            if durability is not None:
+                stats = durability.stats()
+                description += (
+                    "\nDurability: synchronous={synchronous} "
+                    "wal_records={wal_records} fsyncs={fsyncs} "
+                    "checkpoints={checkpoints} replayed={records_replayed}".format(**stats)
+                )
+            result.plan_description = description
         return result
 
     def describe_physical_plan(
@@ -372,6 +383,65 @@ class Executor:
 
     def _execute_drop_table(self, statement: ast.DropTableStatement) -> QueryResult:
         self._catalog.drop_table(statement.table, if_exists=statement.if_exists)
+        return QueryResult(columns=[], rows=[], rowcount=0)
+
+    # -- PRAGMA ----------------------------------------------------------------
+
+    def _execute_pragma(self, statement: ast.PragmaStatement) -> QueryResult:
+        """Durability knobs and actions (``synchronous``, ``checkpoint_interval``,
+        ``wal_checkpoint``, ``durability_stats``).
+
+        Reads (no value) return one row; writes apply the setting and
+        return an empty result.  All of them require a durable database
+        opened via ``repro.connect(path=...)`` — except reading
+        ``synchronous`` on an in-memory database, which reports
+        ``"memory"``.
+        """
+        name = statement.name
+        durability = self._catalog.durability
+        if name == "synchronous" and statement.value is None and durability is None:
+            return QueryResult(columns=["synchronous"], rows=[("memory",)], rowcount=0)
+        if name in ("synchronous", "checkpoint_interval", "wal_checkpoint", "durability_stats"):
+            if durability is None:
+                raise ExecutionError(
+                    f"PRAGMA {name} requires a durable database "
+                    f"(open one with repro.connect(path=...))"
+                )
+        else:
+            raise ExecutionError(f"unknown PRAGMA {statement.name!r}")
+        if name == "wal_checkpoint":
+            durability.checkpoint()
+            return QueryResult(columns=["wal_checkpoint"], rows=[("ok",)], rowcount=0)
+        if name == "durability_stats":
+            stats = durability.stats()
+            return QueryResult(
+                columns=["key", "value"],
+                rows=[(key, value) for key, value in stats.items()],
+                rowcount=0,
+            )
+        if name == "synchronous":
+            if statement.value is None:
+                return QueryResult(
+                    columns=["synchronous"], rows=[(durability.synchronous,)], rowcount=0
+                )
+            durability.set_synchronous(str(statement.value))
+            return QueryResult(columns=[], rows=[], rowcount=0)
+        # checkpoint_interval
+        if statement.value is None:
+            interval = durability.checkpoint_interval
+            return QueryResult(
+                columns=["checkpoint_interval"],
+                rows=[(0 if interval is None else interval,)],
+                rowcount=0,
+            )
+        try:
+            interval = int(statement.value)
+        except (TypeError, ValueError) as exc:
+            raise ExecutionError(
+                f"PRAGMA checkpoint_interval expects an integer, "
+                f"got {statement.value!r}"
+            ) from exc
+        durability.set_checkpoint_interval(interval)
         return QueryResult(columns=[], rows=[], rowcount=0)
 
     def _execute_alter_add_column(self, statement: ast.AlterTableAddColumn) -> QueryResult:

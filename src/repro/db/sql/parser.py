@@ -111,7 +111,41 @@ class _Parser:
             return self._parse_update()
         if token.is_keyword("DELETE"):
             return self._parse_delete()
+        if token.is_keyword("PRAGMA"):
+            return self._parse_pragma()
         raise SQLSyntaxError(f"unexpected token {token.value!r}", token.position)
+
+    # -- PRAGMA -----------------------------------------------------------------
+
+    def _parse_pragma(self) -> ast.PragmaStatement:
+        self._expect_keyword("PRAGMA")
+        name = self._expect_identifier()
+        value: str | int | float | None = None
+        if self._match_punct("="):
+            value = self._parse_pragma_value()
+        elif self._match_punct("("):
+            value = self._parse_pragma_value()
+            self._expect_punct(")")
+        return ast.PragmaStatement(name=name.lower(), value=value)
+
+    def _parse_pragma_value(self) -> str | int | float:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.value
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return token.value
+        if token.type is TokenType.KEYWORD:
+            # Bare mode words (FULL, OFF, ...) may collide with keywords.
+            self._advance()
+            return token.value.lower()
+        raise SQLSyntaxError(
+            f"expected a PRAGMA value, found {token.value!r}", token.position
+        )
 
     # -- SELECT -----------------------------------------------------------------
 

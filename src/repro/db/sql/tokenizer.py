@@ -21,7 +21,7 @@ KEYWORDS = frozenset(
         "OFFSET", "ASC", "DESC", "AS", "DISTINCT", "ALL",
         "JOIN", "INNER", "LEFT", "OUTER", "ON", "CROSS",
         "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
-        "CREATE", "TABLE", "DROP", "ALTER", "ADD", "COLUMN", "INDEX", "EXPLAIN",
+        "CREATE", "TABLE", "DROP", "ALTER", "ADD", "COLUMN", "INDEX", "EXPLAIN", "PRAGMA",
         "PRIMARY", "KEY", "NOT", "NULL", "DEFAULT", "IF", "EXISTS",
         "AND", "OR", "IN", "IS", "BETWEEN", "LIKE",
         "TRUE", "FALSE", "MISSING", "PERCEPTUAL", "FACTUAL",

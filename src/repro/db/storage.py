@@ -94,6 +94,14 @@ class TableStorage:
         #: the written value is the cached value.
         self.on_cell_invalidated: Callable[[str, int], Any] | None = None
         self._suppress_invalidation = False
+        #: Optional write-ahead journal (duck-typed as
+        #: :class:`~repro.db.durability.TableJournal`).  When a catalog is
+        #: durable it installs one here; every mutation is then logged
+        #: *before* the statement is acknowledged.  ``fill_values``
+        #: suppresses the per-row update records and logs one batched
+        #: ``fill`` record carrying provenance and confidences instead.
+        self.journal: Any = None
+        self._suppress_journal = False
         if schema.primary_key is not None:
             self._pk_index = self.create_index(schema.primary_key)
 
@@ -110,12 +118,18 @@ class TableStorage:
         for rowid, row in self._rows.items():
             index.add(rowid, row.get(key))
         self._indexes[key] = index
+        if self.journal is not None:
+            self.journal.index_created(key)
         self._notify_schema_change()
         return index
 
     def index_on(self, column_name: str) -> HashIndex | None:
         """Return the index on *column_name* if one exists."""
         return self._indexes.get(column_name.lower())
+
+    def index_columns(self) -> list[str]:
+        """Names of all indexed columns (snapshot serialization)."""
+        return list(self._indexes)
 
     # -- basic row operations -----------------------------------------------
 
@@ -138,11 +152,57 @@ class TableStorage:
         self._rows[rowid] = row
         for index in self._indexes.values():
             index.add(rowid, row.get(index.column))
+        if self.journal is not None and not self._suppress_journal:
+            self.journal.row_inserted(rowid, row)
         return rowid
 
     def insert_many(self, rows: Iterable[dict[str, Any]]) -> list[int]:
         """Insert many rows, returning their rowids in insertion order."""
         return [self.insert(row) for row in rows]
+
+    # -- recovery support -----------------------------------------------------
+
+    @property
+    def next_rowid(self) -> int:
+        """The rowid the next insert will receive (the high-water mark)."""
+        return self._next_rowid
+
+    def advance_rowid(self, minimum: int) -> None:
+        """Ensure the next insert's rowid is at least *minimum*.
+
+        Rowids are monotone per table *name*, across restarts and across
+        ``DROP TABLE``/re-``CREATE`` (the catalog carries the watermark of
+        dropped tables forward) — a recovered or recreated table never
+        reuses a rowid, so stale references (cached crowd answers, logged
+        provenance) can never alias a new row.
+        """
+        if minimum > self._next_rowid:
+            self._next_rowid = minimum
+
+    def restore_row(self, rowid: int, row: Row) -> None:
+        """Place an already-normalized row at an explicit rowid.
+
+        The recovery path (snapshot restore and WAL ``insert`` replay):
+        rows were validated when first inserted, so constraints are not
+        re-checked, but indexes are maintained and the rowid high-water
+        mark advances past *rowid*.  Restoring over an existing rowid
+        replaces the row cleanly (replay is idempotent at the record
+        level; this keeps the operation itself idempotent too).
+        """
+        existing = self._rows.get(rowid)
+        for index in self._indexes.values():
+            if existing is not None:
+                index.remove(rowid, existing.get(index.column))
+            index.add(rowid, row.get(index.column))
+        self._rows[rowid] = row
+        self.advance_rowid(rowid + 1)
+
+    def set_provenance(
+        self, column_name: str, rowid: int, provenance: ValueProvenance
+    ) -> None:
+        """Record one cell's provenance directly (snapshot restore path)."""
+        column = self.schema.column(column_name)
+        self._provenance.setdefault(column.name, {})[rowid] = provenance
 
     def get(self, rowid: int) -> Row:
         """Return the row stored under *rowid*."""
@@ -171,6 +231,8 @@ class TableStorage:
                 if self.schema.column(name).kind is AttributeKind.PERCEPTUAL:
                     self.on_cell_invalidated(name, rowid)
         del self._rows[rowid]
+        if self.journal is not None and not self._suppress_journal:
+            self.journal.row_deleted(rowid)
 
     def update(self, rowid: int, changes: dict[str, Any]) -> Row:
         """Apply *changes* (column -> new value) to the row at *rowid*.
@@ -194,6 +256,11 @@ class TableStorage:
             entries = self._provenance.get(column.name)
             if entries is not None:
                 entries.pop(rowid, None)
+            # Journal column-by-column, mirroring the in-memory semantics
+            # exactly: a NOT NULL failure on a later column leaves the
+            # earlier assignments applied — and logged.
+            if self.journal is not None and not self._suppress_journal:
+                self.journal.row_updated(rowid, {column.name: coerced})
             if self.on_cell_invalidated is not None and not self._suppress_invalidation:
                 self.on_cell_invalidated(column.name, rowid)
         return row
@@ -244,6 +311,8 @@ class TableStorage:
         value = column.coerce(fill_value) if not is_missing(fill_value) else fill_value
         for row in self._rows.values():
             row[column.name] = value
+        if self.journal is not None and not self._suppress_journal:
+            self.journal.column_added(column, value)
         self._notify_schema_change()
 
     def _notify_schema_change(self) -> None:
@@ -289,12 +358,17 @@ class TableStorage:
         column = self.schema.column(column_name)
         confidences = confidences or {}
         updated = 0
+        written: dict[int, Any] = {}
         # Acquisition write-backs must not fire cell invalidations: the
         # value being persisted is exactly the value the runtime cached, so
         # evicting it would only forfeit valid cache entries.  (Callers
         # hold the catalog lock on shared catalogs, so the flag is not
-        # racing other writers.)
+        # racing other writers.)  The journal is suppressed for the same
+        # span: instead of one update record per row, the whole batch is
+        # logged below as a single ``fill`` record that also carries the
+        # provenance and confidences a plain update would lose.
         self._suppress_invalidation = True
+        self._suppress_journal = True
         try:
             for rowid, value in values.items():
                 if skip_deleted and rowid not in self._rows:
@@ -305,9 +379,20 @@ class TableStorage:
                         source=provenance,
                         confidence=float(confidences.get(rowid, 1.0)),
                     )
+                written[rowid] = value
                 updated += 1
         finally:
             self._suppress_invalidation = False
+            self._suppress_journal = False
+            # Logged in the finally so a fill that errors part-way still
+            # journals the rows it did apply (memory and WAL stay equal).
+            if written and self.journal is not None:
+                self.journal.values_filled(
+                    column.name,
+                    written,
+                    provenance,
+                    {rowid: float(confidences.get(rowid, 1.0)) for rowid in written},
+                )
         return updated
 
     # -- provenance accounting -------------------------------------------------

@@ -99,6 +99,11 @@ class IntegrityError(DatabaseError):
     """Raised on constraint violations (primary key, NOT NULL, ...)."""
 
 
+class PersistenceError(DatabaseError):
+    """Raised when the durability layer cannot open, read or write a
+    database directory (unknown snapshot format, locked directory, ...)."""
+
+
 # ---------------------------------------------------------------------------
 # Crowd-platform errors
 # ---------------------------------------------------------------------------

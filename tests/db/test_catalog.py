@@ -47,6 +47,24 @@ class TestCatalog:
             catalog.drop_table("movies")
         catalog.drop_table("movies", if_exists=True)
 
+    def test_recreated_table_never_reuses_rowids(self):
+        """Regression: rowids restarted at 1 after DROP TABLE/re-CREATE,
+        so stale references (cached crowd answers, provenance) could alias
+        the new incarnation's rows.  The catalog now carries a per-name
+        high-water mark forward."""
+        catalog = Catalog()
+        first = catalog.create_table(schema("movies"))
+        first.insert({"id": 1})
+        first.insert({"id": 2})
+        catalog.drop_table("movies")
+        second = catalog.create_table(schema("movies"))
+        assert second.insert({"id": 99}) == 3
+        assert catalog.rowid_watermarks() == {"movies": 3}
+        # A second drop/re-create keeps advancing, never rewinds.
+        catalog.drop_table("movies")
+        third = catalog.create_table(schema("movies"))
+        assert third.insert({"id": 1}) == 4
+
     def test_table_names_and_iteration(self):
         catalog = Catalog()
         catalog.create_table(schema("a"))

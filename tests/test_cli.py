@@ -35,6 +35,19 @@ class TestCommands:
         assert "Top comedies" in captured.out
         assert "Filled" in captured.out
 
+    def test_demo_persists_and_reruns_without_crowd_spend(self, tmp_path, capsys):
+        db_path = str(tmp_path / "demo-db")
+        assert main(["demo", "--movies", "120", "--seed", "3", "--db-path", db_path]) == 0
+        first = capsys.readouterr().out
+        assert "Filled" in first
+        assert "Durability:" in first
+        # Rerun against the same directory: the crowd answers were paid
+        # once; the reopened database serves them from disk.
+        assert main(["demo", "--movies", "120", "--seed", "3", "--db-path", db_path]) == 0
+        second = capsys.readouterr().out
+        assert "Reopened persisted database" in second
+        assert "no new crowd spend" in second
+
     def test_experiment_table2_small(self, capsys):
         exit_code = main(["experiment", "table2", "--scale", "small"])
         captured = capsys.readouterr()

@@ -67,8 +67,14 @@ def test_intra_repo_links_resolve(path: Path):
 
 
 def test_docs_tree_is_complete():
-    """The four canonical pages the README advertises must exist."""
-    for name in ("architecture.md", "operators.md", "acquisition.md", "api.md"):
+    """The canonical pages the README advertises must exist."""
+    for name in (
+        "architecture.md",
+        "operators.md",
+        "acquisition.md",
+        "persistence.md",
+        "api.md",
+    ):
         assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} is missing"
 
 
