@@ -1,0 +1,103 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro lint``.
+
+Exit status is the CI contract: 0 when there are zero unsuppressed
+findings, 1 otherwise, 2 on usage errors.  ``--format json --output
+reprolint.json`` is what the CI ``analysis`` job uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.driver import run
+from repro.analysis.report import render_human, render_json, rule_catalog
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Project-invariant static analysis for the crowd-DB engine: "
+            "lock ordering, budget accounting, provenance, WAL coverage, "
+            "determinism."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in human output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for entry in rule_catalog():
+            roles = ",".join(entry["roles"])
+            print(f"{entry['id']:>20}  [{roles}]  {entry['summary']}")
+        return 0
+
+    select = None
+    if args.select is not None:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    try:
+        report = run(args.paths, select=select)
+    except KeyError as exc:
+        print(f"reprolint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        rendered = render_json(report)
+    else:
+        rendered = render_human(report, show_suppressed=args.show_suppressed) + "\n"
+
+    if args.output:
+        Path(args.output).write_text(rendered, encoding="utf-8")
+        print(
+            f"reprolint: wrote {args.format} report to {args.output} "
+            f"({len(report.unsuppressed)} finding(s))"
+        )
+    else:
+        sys.stdout.write(rendered)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

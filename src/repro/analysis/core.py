@@ -1,0 +1,172 @@
+"""Core data model of ``reprolint``: findings, rules, modules, the registry.
+
+``reprolint`` is an AST-based, plugin-style checker that machine-checks the
+*project invariants* this codebase relies on — lock ordering, budget
+accounting, provenance discipline, WAL coverage — rather than generic style
+rules (ruff covers those).  The moving parts:
+
+* a :class:`Finding` is one diagnostic at a source location;
+* a :class:`Rule` inspects parsed modules (and, for whole-project
+  invariants, the complete :class:`Project`) and yields findings;
+* the :data:`registry <RULES>` maps rule ids to singleton rule instances;
+  rules self-register via the :func:`register` decorator when
+  :mod:`repro.analysis.rules` is imported;
+* a :class:`Module` is one parsed source file together with its role
+  (``src`` / ``tests`` / ``benchmarks``) and suppression table.
+
+See ``docs/analysis.md`` for the rule catalog and the rationale behind each
+invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterable, Iterator, Type
+
+from repro.analysis.suppress import Suppressions
+
+__all__ = ["Finding", "Module", "Project", "RULES", "Rule", "register"]
+
+#: Roles a scanned file can have; rules may scope themselves to a subset
+#: (e.g. the thread-chokepoint rule does not apply to tests, which spawn
+#: threads to exercise concurrency on purpose).
+ALL_ROLES = frozenset({"src", "tests", "benchmarks"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violated at a specific source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    #: True when a ``# reprolint: disable`` pragma covers the finding.
+    #: Suppressed findings are reported (JSON) but do not fail the gate.
+    suppressed: bool = False
+
+    def key(self) -> tuple[str, int, int, str]:
+        """Stable sort key: by file, then location, then rule id."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        """Human-readable one-liner (``path:line:col: RULE message``)."""
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}{mark} {self.message}"
+
+
+class Module:
+    """One parsed source file under analysis."""
+
+    def __init__(self, path: str, source: str, role: str = "src") -> None:
+        if role not in ALL_ROLES:
+            raise ValueError(f"unknown module role {role!r}")
+        self.path = path
+        self.role = role
+        self.source = source
+        #: Normalised posix-style path used for suffix matching, so rules
+        #: can say "this is db/wal.py" regardless of the invocation cwd.
+        self.norm = str(PurePosixPath(path.replace("\\", "/")))
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = Suppressions.from_source(source)
+
+    def matches(self, *suffixes: str) -> bool:
+        """True if the module path ends with any of the given suffixes."""
+        return any(self.norm.endswith(suffix) for suffix in suffixes)
+
+    def __repr__(self) -> str:
+        return f"Module({self.path!r}, role={self.role!r})"
+
+
+class Project:
+    """The full set of modules of one analysis run (project-phase rules)."""
+
+    def __init__(self, modules: Iterable[Module]) -> None:
+        self.modules = list(modules)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.modules)
+
+    def module_matching(self, *suffixes: str) -> Module | None:
+        """First module whose path ends with one of *suffixes* (or None)."""
+        for module in self.modules:
+            if module.matches(*suffixes):
+                return module
+        return None
+
+    def src_modules(self) -> list[Module]:
+        """Modules playing the ``src`` role (library code)."""
+        return [module for module in self.modules if module.role == "src"]
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes and override :meth:`check_module`
+    (per-file diagnostics) and/or :meth:`finalize` (whole-project
+    diagnostics that need every module parsed first, e.g. the lock-order
+    graph).  Rules must be deterministic and side-effect free: the driver
+    may call them in any order.
+    """
+
+    #: Unique kebab-case rule id, used in reports and suppressions.
+    id: str = ""
+    #: One-line summary shown by ``--list-rules``.
+    summary: str = ""
+    #: Why the invariant matters (rendered into docs and JSON reports).
+    rationale: str = ""
+    #: Roles this rule applies to.
+    roles: frozenset[str] = ALL_ROLES
+
+    def applies_to(self, module: Module) -> bool:
+        """True when *module*'s role is in scope for this rule."""
+        return module.role in self.roles
+
+    def check_module(self, module: Module, project: Project) -> Iterable[Finding]:
+        """Yield findings for one module (default: none)."""
+        return ()
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        """Yield whole-project findings after every module was checked."""
+        return ()
+
+
+#: Rule id -> singleton instance.  Populated by :func:`register` when
+#: :mod:`repro.analysis.rules` is imported.
+RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} must define a non-empty id")
+    if rule_cls.id in RULES and type(RULES[rule_cls.id]) is not rule_cls:
+        raise ValueError(f"duplicate rule id {rule_cls.id!r}")
+    RULES[rule_cls.id] = rule_cls()
+    return rule_cls
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        """Findings not covered by a suppression pragma (these fail CI)."""
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        """Findings acknowledged via ``# reprolint: disable`` pragmas."""
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when the zero-unsuppressed-findings gate passes."""
+        return not self.unsuppressed

@@ -1,0 +1,73 @@
+"""Rendering reprolint reports: human-readable text and machine JSON.
+
+The JSON document is what CI uploads as an artifact; it embeds the rule
+catalog (id, summary, rationale, roles) next to the findings so the report
+is self-describing — a reviewer can read why a rule exists without opening
+the source.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.core import RULES, Report
+
+__all__ = ["render_human", "render_json", "rule_catalog"]
+
+
+def rule_catalog() -> list[dict[str, Any]]:
+    """The registered rules as JSON-friendly dicts (sorted by id)."""
+    import repro.analysis.rules  # noqa: F401  (ensure registration)
+
+    return [
+        {
+            "id": rule.id,
+            "summary": rule.summary,
+            "rationale": rule.rationale,
+            "roles": sorted(rule.roles),
+        }
+        for _, rule in sorted(RULES.items())
+    ]
+
+
+def render_human(report: Report, *, show_suppressed: bool = False) -> str:
+    """Compiler-style one-line-per-finding text output."""
+    lines: list[str] = []
+    findings = report.findings if show_suppressed else report.unsuppressed
+    for finding in findings:
+        lines.append(finding.render())
+    suppressed = len(report.suppressed)
+    summary = (
+        f"reprolint: {len(report.unsuppressed)} finding(s), "
+        f"{suppressed} suppressed, {report.files_scanned} file(s) scanned"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    """Self-describing JSON document (findings + rule catalog)."""
+    payload: dict[str, Any] = {
+        "tool": "reprolint",
+        "version": 1,
+        "files_scanned": report.files_scanned,
+        "summary": {
+            "findings": len(report.unsuppressed),
+            "suppressed": len(report.suppressed),
+            "ok": report.ok,
+        },
+        "findings": [
+            {
+                "rule": finding.rule,
+                "message": finding.message,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "suppressed": finding.suppressed,
+            }
+            for finding in report.findings
+        ],
+        "rules": rule_catalog(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"

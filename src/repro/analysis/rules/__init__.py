@@ -1,0 +1,18 @@
+"""reprolint rule modules.
+
+Importing this package registers every rule into
+:data:`repro.analysis.core.RULES` (each module applies the
+:func:`~repro.analysis.core.register` decorator at import time).
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    budget,
+    locks,
+    provenance,
+    rng,
+    sentinel,
+    threads,
+    wal,
+)
+
+__all__ = ["budget", "locks", "provenance", "rng", "sentinel", "threads", "wal"]

@@ -1,0 +1,82 @@
+"""``fill-provenance``: provenance rides with every write-back.
+
+Crowd answers, predictions and stored values are *different kinds of
+truth* — the quality layer, the cache invalidation hooks and the WAL all
+key off a cell's provenance.  Two ways the discipline erodes:
+
+* a ``fill_values`` call without an explicit ``provenance=`` lands crowd
+  or predicted data as if it were stored fact;
+* code outside ``db/storage.py`` poking ``TableStorage`` internals
+  (``_rows``, ``_provenance``, ``_indexes``, ``_next_rowid``) mutates
+  state without firing the journal or the invalidation hooks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.callgraph import attribute_path
+from repro.analysis.core import Finding, Module, Project, Rule, register
+
+__all__ = ["FillProvenanceRule"]
+
+#: The module that owns the internals (and may call itself however it likes).
+STORAGE_MODULE = "db/storage.py"
+
+#: TableStorage attributes that only storage.py itself may touch.
+STORAGE_INTERNALS = frozenset({"_rows", "_provenance", "_indexes", "_next_rowid"})
+
+
+@register
+class FillProvenanceRule(Rule):
+    id = "fill-provenance"
+    summary = "fill_values callers pass provenance; storage internals stay private"
+    rationale = (
+        "Provenance (stored/crowd/predicted) drives answer quality, cache "
+        "invalidation and WAL replay; a fill_values call without provenance= "
+        "records crowd data as stored fact. Direct writes to TableStorage "
+        "internals bypass the journal and the invalidation hooks entirely."
+    )
+    roles = frozenset({"src"})
+
+    def check_module(self, module: Module, project: Project) -> Iterable[Finding]:
+        in_storage = module.matches(STORAGE_MODULE)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                path = attribute_path(node.func)
+                if path and path[-1] == "fill_values" and not in_storage:
+                    has_provenance = any(
+                        keyword.arg == "provenance" or keyword.arg is None
+                        for keyword in node.keywords
+                    )
+                    if not has_provenance:
+                        yield Finding(
+                            rule=self.id,
+                            message=(
+                                "fill_values() called without provenance=; pass "
+                                "the value's origin (stored/crowd/predicted) so "
+                                "quality and invalidation see it"
+                            ),
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                        )
+            if isinstance(node, ast.Attribute) and not in_storage:
+                if node.attr in STORAGE_INTERNALS:
+                    path = attribute_path(node)
+                    # ``self._rows`` in some other class is that class's own
+                    # attribute; only flag pokes through a *receiver* object
+                    # (``storage._rows``, ``table._provenance``, ...).
+                    if path and path[0] != "self":
+                        yield Finding(
+                            rule=self.id,
+                            message=(
+                                f"direct access to TableStorage internal "
+                                f".{node.attr} outside db/storage.py; use the "
+                                "mutator API so journal + invalidation hooks fire"
+                            ),
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                        )

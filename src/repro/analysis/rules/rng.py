@@ -1,0 +1,106 @@
+"""``seeded-rng``: all randomness flows through seeded generators.
+
+The reproduction's headline claim is determinism: identical seeds replay
+identical crowd simulations, embeddings and experiment tables.  One
+unseeded generator anywhere breaks byte-for-byte reproducibility, and the
+bug only shows up as flaky numbers much later.  The sanctioned entry
+points live in ``utils/rng.py`` (``ensure_rng`` / ``derive_seed`` /
+``spawn_rng``); everywhere else:
+
+* ``np.random.default_rng()`` without a seed argument is flagged;
+* the legacy global-state API (``np.random.rand``, ``np.random.seed``,
+  ...) is flagged entirely — it is process-global mutable state;
+* ``import random`` (the stdlib module) is flagged — the project's
+  numerics are numpy-based and the stdlib global RNG is unseeded.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.callgraph import attribute_path
+from repro.analysis.core import Finding, Module, Project, Rule, register
+
+__all__ = ["SeededRngRule"]
+
+#: The one module allowed to construct generators its own way.
+RNG_MODULE = "utils/rng.py"
+
+#: ``np.random.<name>`` attribute accesses that are fine: the modern
+#: seeded-generator API and type references used in annotations.
+NP_RANDOM_OK = frozenset({"default_rng", "Generator", "BitGenerator", "SeedSequence"})
+
+
+@register
+class SeededRngRule(Rule):
+    id = "seeded-rng"
+    summary = "no unseeded random sources outside utils/rng.py (determinism)"
+    rationale = (
+        "Reproducibility is the point of the repo: same seed, same crowd, "
+        "same numbers. Unseeded default_rng(), the legacy np.random global-"
+        "state API, and the stdlib random module all smuggle in process-"
+        "global entropy. Derive generators via utils/rng.py instead."
+    )
+    # All roles: a nondeterministic test is a flaky test.
+
+    def check_module(self, module: Module, project: Project) -> Iterable[Finding]:
+        if module.matches(RNG_MODULE):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield Finding(
+                            rule=self.id,
+                            message=(
+                                "stdlib `random` imported; use a seeded numpy "
+                                "generator from utils/rng.py instead"
+                            ),
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                        )
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        "stdlib `random` imported; use a seeded numpy generator "
+                        "from utils/rng.py instead"
+                    ),
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+            if isinstance(node, ast.Call):
+                path = attribute_path(node.func)
+                if not path:
+                    continue
+                name = path[-1]
+                if name == "default_rng" and not node.args and not node.keywords:
+                    yield Finding(
+                        rule=self.id,
+                        message=(
+                            "default_rng() called without a seed; thread a seed "
+                            "(or a Generator) through utils/rng.py helpers"
+                        ),
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+                elif (
+                    len(path) >= 2
+                    and path[-2] == "random"
+                    and path[0] in {"np", "numpy"}
+                    and name not in NP_RANDOM_OK
+                ):
+                    yield Finding(
+                        rule=self.id,
+                        message=(
+                            f"legacy global-state np.random.{name}() used; "
+                            "construct a seeded Generator via utils/rng.py"
+                        ),
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )

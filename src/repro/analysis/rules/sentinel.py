@@ -1,0 +1,83 @@
+"""``missing-identity``: the MISSING sentinel is compared by identity only.
+
+``MISSING`` is a singleton marker for "this cell has no value yet" — the
+whole point is that it is distinguishable from every real value, including
+falsy ones (``0``, ``""``, ``None``).  ``== MISSING`` invites surprises
+the moment a stored type defines ``__eq__`` (numpy arrays broadcast!), and
+truthiness (``if cell:``) silently conflates MISSING with every falsy
+value.  Use ``is MISSING`` / ``is not MISSING`` or the
+:func:`repro.db.types.is_missing` helper.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, Module, Project, Rule, register
+
+__all__ = ["MissingIdentityRule"]
+
+
+def _is_missing_ref(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "MISSING"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "MISSING"
+    return False
+
+
+@register
+class MissingIdentityRule(Rule):
+    id = "missing-identity"
+    summary = "compare the MISSING sentinel with `is`, never ==/!= or truthiness"
+    rationale = (
+        "MISSING marks 'no value yet' and must stay distinguishable from "
+        "every real value. == delegates to the other operand's __eq__ (numpy "
+        "arrays broadcast to element-wise results); truthiness conflates "
+        "MISSING with 0/''/None. Only identity (is/is not, is_missing) is safe."
+    )
+    # Applies everywhere: tests and benchmarks manipulate cells too.
+
+    def check_module(self, module: Module, project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for op, (left, right) in zip(node.ops, zip(operands, operands[1:])):
+                    if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                        _is_missing_ref(left) or _is_missing_ref(right)
+                    ):
+                        yield Finding(
+                            rule=self.id,
+                            message=(
+                                "MISSING compared with ==/!=; use `is MISSING` "
+                                "/ `is not MISSING` (or is_missing())"
+                            ),
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                        )
+            test = None
+            if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+                test = node.test
+            elif isinstance(node, ast.Assert):
+                test = node.test
+            if test is not None:
+                candidates = [test]
+                if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+                    candidates.append(test.operand)
+                if isinstance(test, ast.BoolOp):
+                    candidates.extend(test.values)
+                for candidate in candidates:
+                    if _is_missing_ref(candidate):
+                        yield Finding(
+                            rule=self.id,
+                            message=(
+                                "MISSING used in a boolean context; test "
+                                "identity (`cell is MISSING`) instead of "
+                                "truthiness"
+                            ),
+                            path=module.path,
+                            line=candidate.lineno,
+                            col=candidate.col_offset,
+                        )

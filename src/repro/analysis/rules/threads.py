@@ -1,0 +1,60 @@
+"""``thread-chokepoint``: all concurrency is owned by AcquisitionRuntime.
+
+The runtime is the *only* place allowed to construct threads or executors
+in library code: it owns shutdown ordering, dispatch coalescing, the
+answer cache, and the cost ledger.  A stray ``threading.Thread`` or
+``ThreadPoolExecutor`` elsewhere creates concurrency the runtime cannot
+drain on ``close()`` — the exact class of leak PR 4's review pass kept
+finding by hand.  Tests and benchmarks are exempt: they spawn threads on
+purpose to exercise the runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.callgraph import attribute_path
+from repro.analysis.core import Finding, Module, Project, Rule, register
+
+__all__ = ["ThreadChokepointRule"]
+
+#: The module allowed to construct threads/executors.
+RUNTIME_MODULE = "crowd/runtime.py"
+
+CONSTRUCTORS = frozenset(
+    {"Thread", "Timer", "ThreadPoolExecutor", "ProcessPoolExecutor"}
+)
+
+
+@register
+class ThreadChokepointRule(Rule):
+    id = "thread-chokepoint"
+    summary = "threads/executors are constructed only inside AcquisitionRuntime"
+    rationale = (
+        "AcquisitionRuntime owns concurrency: dispatch coalescing, cache, "
+        "ledger, and shutdown draining. A thread or pool constructed anywhere "
+        "else leaks past close() and races the runtime's invariants. Tests "
+        "spawn threads on purpose and are exempt."
+    )
+    roles = frozenset({"src"})
+
+    def check_module(self, module: Module, project: Project) -> Iterable[Finding]:
+        if module.matches(RUNTIME_MODULE):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = attribute_path(node.func)
+            if path and path[-1] in CONSTRUCTORS:
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        f"{path[-1]} constructed outside crowd/runtime.py; "
+                        "route concurrency through AcquisitionRuntime so it is "
+                        "drained on close()"
+                    ),
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )

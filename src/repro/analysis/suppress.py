@@ -1,0 +1,92 @@
+"""Suppression pragmas: ``# reprolint: disable=RULE`` comments.
+
+Three forms are recognised, mirroring the pylint/ruff conventions the team
+already knows:
+
+* ``# reprolint: disable=rule-a,rule-b`` — suppress those rules on the
+  line carrying the comment;
+* ``# reprolint: disable`` — suppress *every* rule on that line (use
+  sparingly; named suppressions document intent);
+* ``# reprolint: disable-file=rule-a`` — suppress a rule for the whole
+  file (any line; conventionally placed in the module docstring area).
+
+A suppression should always ride with a human explanation of *why* the
+invariant does not apply — the gate keeps the finding visible in the JSON
+report (``suppressed: true``) so reviewers can audit the exemptions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppressions"]
+
+#: ``reprolint: disable`` / ``disable-file`` with an optional rule list.
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable-file|disable)\s*(?:=\s*(?P<rules>[\w,\s-]+))?"
+)
+
+
+def _parse_rules(raw: str | None) -> frozenset[str] | None:
+    """``"a, b"`` -> ``{"a", "b"}``; ``None``/empty means "all rules"."""
+    if raw is None:
+        return None
+    rules = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    return rules or None
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression table, derived from the token stream."""
+
+    #: line number -> suppressed rule ids (None = all rules).
+    lines: dict[int, frozenset[str] | None] = field(default_factory=dict)
+    #: rules suppressed for the whole file (None entry = all rules).
+    file_rules: frozenset[str] | None = field(default_factory=frozenset)
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        """Extract the pragma table from *source* (tolerant of bad syntax)."""
+        table = cls()
+        file_rules: set[str] = set()
+        file_all = False
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                (token.start[0], token.string)
+                for token in tokens
+                if token.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            comments = []
+
+        for line, text in comments:
+            match = _PRAGMA.search(text)
+            if match is None:
+                continue
+            rules = _parse_rules(match.group("rules"))
+            if match.group("kind") == "disable-file":
+                if rules is None:
+                    file_all = True
+                else:
+                    file_rules.update(rules)
+            else:
+                existing = table.lines.get(line, frozenset())
+                if rules is None or existing is None:
+                    table.lines[line] = None
+                else:
+                    table.lines[line] = existing | rules
+        table.file_rules = None if file_all else frozenset(file_rules)
+        return table
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when *rule_id* is suppressed at *line* (or file-wide)."""
+        if self.file_rules is None or rule_id in self.file_rules:
+            return True
+        if line in self.lines:
+            rules = self.lines[line]
+            return rules is None or rule_id in rules
+        return False

@@ -77,6 +77,17 @@ def build_parser() -> argparse.ArgumentParser:
     build_space.add_argument(
         "--ratings-output", default=None, help="optional path to also persist the rating data"
     )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run reprolint, the project-invariant static-analysis suite",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"], help="files/dirs to analyse")
+    lint.add_argument("--format", choices=("human", "json"), default="human")
+    lint.add_argument("--output", metavar="FILE", default=None)
+    lint.add_argument("--select", metavar="RULES", default=None)
+    lint.add_argument("--show-suppressed", action="store_true")
+    lint.add_argument("--list-rules", action="store_true")
     return parser
 
 
@@ -238,6 +249,22 @@ def _run_build_space(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    argv: list[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.output:
+        argv += ["--output", args.output]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -248,6 +275,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_experiment(args)
     if args.command == "build-space":
         return _run_build_space(args)
+    if args.command == "lint":
+        return _run_lint(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Mapping, Union
 
 from repro.core.ledger import ExpansionLedger
 from repro.core.policies import ExpansionPolicy, PolicyResult
+from repro.db.acquisition import PROVENANCE_CROWD
 from repro.db.types import ColumnType, is_missing
 from repro.errors import ExpansionError
 
@@ -276,7 +277,9 @@ class SchemaExpander:
         }
         # skip_deleted: a concurrent session may have removed rows between
         # the scan and the (unlocked) policy call; their values are dropped.
-        return storage.fill_values(attribute, updates, skip_deleted=True)
+        return storage.fill_values(
+            attribute, updates, skip_deleted=True, provenance=PROVENANCE_CROWD
+        )
 
 
 class ExpansionPipeline:

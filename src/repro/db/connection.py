@@ -1086,6 +1086,10 @@ class Connection:
         """Add a new perceptual column initialised to MISSING and return it."""
         with self.catalog.lock:
             table = self.catalog.table(table_name)
+            if isinstance(column_type, str):
+                # Accept SQL type names ("REAL", "boolean", ...); a raw string
+                # in Column.type would crash the durability journal later.
+                column_type = ColumnType.from_name(column_type)
             resolved_type = column_type or ColumnType.REAL
             column = Column(
                 name=column_name,

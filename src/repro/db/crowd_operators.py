@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol, Sequence
 
+from repro.db.acquisition import PROVENANCE_CROWD
 from repro.db.storage import TableStorage
 from repro.db.types import is_missing
 from repro.errors import ExecutionError
@@ -96,7 +97,9 @@ class CrowdFillOperator:
             resolved = {
                 rowid: value for rowid, value in values.items() if not is_missing(value)
             }
-            report.filled += table.fill_values(column, resolved)
+            report.filled += table.fill_values(
+                column, resolved, provenance=PROVENANCE_CROWD
+            )
             report.unresolved_rowids.extend(r for r in batch if r not in resolved)
         return report
 

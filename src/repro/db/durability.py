@@ -60,7 +60,7 @@ from repro.db.wal import (
     scan_wal,
     validate_synchronous,
 )
-from repro.errors import PersistenceError
+from repro.errors import ExecutionError, PersistenceError
 
 try:  # pragma: no cover - fcntl exists on every POSIX platform we run on
     import fcntl
@@ -300,7 +300,7 @@ class DurabilityManager:
                         continue
                     try:
                         value = storage.get(rowid).get(column)
-                    except Exception:  # row deleted since the fill
+                    except ExecutionError:  # row deleted since the fill
                         continue
                     if value is not None and not is_missing(value):
                         warm[(table, column, rowid)] = value

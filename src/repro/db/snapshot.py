@@ -164,7 +164,7 @@ def restore_catalog(catalog: "Catalog", state: dict[str, Any]) -> None:
 # ---------------------------------------------------------------------------
 
 
-def write_snapshot(directory: str | os.PathLike, state: dict[str, Any]) -> Path:
+def write_snapshot(directory: str | os.PathLike[str], state: dict[str, Any]) -> Path:
     """Atomically publish *state* as the directory's current snapshot.
 
     temp-write + fsync + rename + directory fsync: a reader never sees a
@@ -188,7 +188,7 @@ def write_snapshot(directory: str | os.PathLike, state: dict[str, Any]) -> Path:
     return target
 
 
-def load_snapshot(directory: str | os.PathLike) -> dict[str, Any] | None:
+def load_snapshot(directory: str | os.PathLike[str]) -> dict[str, Any] | None:
     """Load the directory's snapshot, or None when none was published yet."""
     path = Path(directory) / SNAPSHOT_NAME
     if not path.exists():

@@ -39,10 +39,10 @@ class Missing:
     def __copy__(self) -> "Missing":
         return self
 
-    def __deepcopy__(self, memo: dict) -> "Missing":
+    def __deepcopy__(self, memo: "dict[int, Any]") -> "Missing":
         return self
 
-    def __reduce__(self):
+    def __reduce__(self) -> "tuple[type[Missing], tuple[object, ...]]":
         return (Missing, ())
 
 

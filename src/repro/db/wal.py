@@ -49,6 +49,7 @@ from repro.errors import PersistenceError
 from zlib import crc32
 
 __all__ = [
+    "RECORD_TYPES",
     "SYNCHRONOUS_MODES",
     "WriteAheadLog",
     "decode_value",
@@ -62,6 +63,25 @@ _HEADER = struct.Struct("<II")
 
 #: Accepted values of the ``synchronous`` durability knob.
 SYNCHRONOUS_MODES = ("full", "normal", "off")
+
+#: The closed registry of WAL record types.  Every mutation path in the
+#: engine serialises to exactly one of these ops, and recovery
+#: (``DurabilityManager._apply``) has one handler per op.  ``reprolint``'s
+#: ``wal-coverage`` rule cross-checks this set against both the append
+#: sites and the replay handlers, so adding a mutation without wiring its
+#: record type end-to-end fails CI instead of silently losing durability.
+RECORD_TYPES = frozenset(
+    {
+        "create_table",
+        "drop_table",
+        "insert",
+        "update",
+        "delete",
+        "fill",
+        "add_column",
+        "create_index",
+    }
+)
 
 #: JSON sentinel for the MISSING marker (no JSON scalar can collide with it:
 #: cell values are always scalars, never objects).
@@ -124,7 +144,7 @@ class WriteAheadLog:
 
     def __init__(
         self,
-        path: str | os.PathLike,
+        path: str | os.PathLike[str],
         *,
         synchronous: str = "normal",
         group_size: int = 64,
@@ -153,6 +173,11 @@ class WriteAheadLog:
         the record is fsynced immediately (``full``), in groups
         (``normal``) or not at all (``off``).
         """
+        if op not in RECORD_TYPES:
+            raise PersistenceError(
+                f"unknown WAL record type {op!r}; register it in "
+                f"repro.db.wal.RECORD_TYPES and add a replay handler"
+            )
         with self._lock:
             lsn = self.next_lsn
             self.next_lsn += 1
@@ -228,7 +253,7 @@ class WriteAheadLog:
         )
 
 
-def scan_wal(path: str | os.PathLike) -> tuple[list[dict[str, Any]], int]:
+def scan_wal(path: str | os.PathLike[str]) -> tuple[list[dict[str, Any]], int]:
     """Parse a WAL file, stopping at the first torn or corrupt record.
 
     Returns ``(records, valid_bytes)``: the records of the longest valid

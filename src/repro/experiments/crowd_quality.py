@@ -114,9 +114,7 @@ def run_crowd_quality_experiments(
     # -- Experiment 3: factual lookup task with gold questions. ----------------------
     gold_rng = spawn_rng(seed, "gold-questions")
     n_gold = max(1, len(item_ids) // 10)
-    gold_ids = set(
-        int(i) for i in gold_rng.choice(item_ids, size=n_gold, replace=False)
-    )
+    gold_ids = {int(i) for i in gold_rng.choice(item_ids, size=n_gold, replace=False)}
     gold_answers = {i: Answer.from_bool(truth[i]) for i in gold_ids}
     question_3 = Question(
         attribute=attribute,

@@ -44,7 +44,7 @@ def corrupt_labels(
     rng = spawn_rng(seed, "corrupt", fraction)
     item_ids = sorted(labels)
     n_swapped = max(1, int(round(fraction * len(item_ids))))
-    swapped = set(int(i) for i in rng.choice(item_ids, size=n_swapped, replace=False))
+    swapped = {int(i) for i in rng.choice(item_ids, size=n_swapped, replace=False)}
     corrupted = {i: (not l if i in swapped else l) for i, l in labels.items()}
     return corrupted, swapped
 

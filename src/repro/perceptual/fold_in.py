@@ -16,7 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import PerceptualSpaceError
+from repro.errors import PerceptualSpaceError, UnknownUserError
 from repro.perceptual.euclidean_embedding import EuclideanEmbeddingModel
 from repro.perceptual.space import PerceptualSpace
 from repro.utils.rng import RandomState, spawn_rng
@@ -73,7 +73,9 @@ class ItemFoldIn:
         for user_id, score in ratings:
             try:
                 usable.append((model._dataset.user_position(int(user_id)), float(score)))
-            except Exception:
+            except UnknownUserError:
+                # Ratings from users the model never saw carry no signal for
+                # the fold-in; anything else (e.g. a malformed id) propagates.
                 continue
         if len(usable) < self.min_ratings:
             raise PerceptualSpaceError(

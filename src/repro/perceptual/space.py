@@ -33,7 +33,7 @@ class PerceptualSpace:
             raise PerceptualSpaceError(
                 f"{len(item_ids)} item ids but {coordinates.shape[0]} coordinate rows"
             )
-        if len(set(int(i) for i in item_ids)) != len(item_ids):
+        if len({int(i) for i in item_ids}) != len(item_ids):
             raise PerceptualSpaceError("item ids must be unique")
         self._item_ids = [int(i) for i in item_ids]
         self._coordinates = coordinates

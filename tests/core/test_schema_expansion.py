@@ -56,6 +56,10 @@ class TestExplicitExpansion:
         assert report.cost > 0
         found = db.execute("SELECT count(*) FROM items WHERE is_positive = true").scalar()
         assert 15 <= found <= 45
+        # The write-back is crowd data and must be marked as such, so the
+        # quality layer and cache invalidation can tell it from stored fact.
+        provenance = db.table("items").provenance_map("is_positive")
+        assert provenance and all(e.source == "crowd" for e in provenance.values())
 
     def test_ledger_records_expansion(self, space, truth):
         db = build_db()

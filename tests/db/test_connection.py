@@ -274,6 +274,17 @@ class TestConnectionLifecycle:
         connection.executemany("INSERT INTO t VALUES (?)", [(i,) for i in range(50)])
         assert list(connection.statement_log).count("INSERT INTO t VALUES (?)") == 1
 
+    def test_add_perceptual_column_accepts_type_names(self):
+        # A raw string in Column.type would crash the durability journal
+        # (snapshot.column_state reads column.type.value), so SQL type names
+        # must be normalised to ColumnType at this surface.
+        connection = connect()
+        connection.execute("CREATE TABLE t (a INTEGER)")
+        column = connection.add_perceptual_column("t", "appeal", "REAL")
+        assert column.type is ColumnType.REAL
+        booleanish = connection.add_perceptual_column("t", "funny", "bool")
+        assert booleanish.type is ColumnType.BOOLEAN
+
     def test_execute_script_logs_individual_statements(self):
         connection = connect()
         connection.execute_script(

@@ -43,6 +43,13 @@ class TestCrowdFill:
         assert report.coverage == 1.0
         assert table.missing_rowids("humor") == []
 
+    def test_fill_records_crowd_provenance(self, table):
+        source = CallableValueSource(lambda attr, rowid, row: float(row["item_id"]))
+        CrowdFillOperator(source).fill(table, "humor")
+        provenance = table.provenance_map("humor")
+        assert provenance, "fill must leave a provenance trail"
+        assert all(entry.source == "crowd" for entry in provenance.values())
+
     def test_partial_fill_reports_unresolved(self, table):
         source = CallableValueSource(
             lambda attr, rowid, row: 5.0 if row["item_id"] % 2 == 0 else MISSING

@@ -362,6 +362,39 @@ class TestAnswerCacheWarmStart:
         assert cache.get("movies", "is_comedy", 4) == (False, None)
         reopened.close()
 
+    def test_deleted_row_is_skipped_by_warm_start(self, tmp_path):
+        conn = make_db(tmp_path / "db")
+        conn.add_perceptual_column("movies", "is_comedy")
+        conn.table("movies").fill_values(
+            "is_comedy", {1: True, 2: True}, provenance="crowd"
+        )
+        conn.execute("DELETE FROM movies WHERE movie_id = ?", (1,))
+        conn.close()
+
+        reopened = repro.connect(path=tmp_path / "db")
+        cache = reopened.acquisition_runtime().cache
+        assert cache.get("movies", "is_comedy", 1) == (False, None)
+        assert cache.get("movies", "is_comedy", 2) == (True, 1.0)
+        reopened.close()
+
+    def test_warm_start_propagates_unexpected_errors(self, tmp_path, monkeypatch):
+        # The deleted-row skip is narrowed to ExecutionError; an arbitrary
+        # failure while reading a cell is a bug and must surface, not be
+        # silently treated as "row deleted".
+        conn = make_db(tmp_path / "db")
+        conn.add_perceptual_column("movies", "is_comedy")
+        conn.table("movies").fill_values("is_comedy", {1: True}, provenance="crowd")
+        storage = conn.table("movies")
+
+        def broken_get(rowid):
+            raise RuntimeError("storage corrupted")
+
+        monkeypatch.setattr(storage, "get", broken_get)
+        with pytest.raises(RuntimeError, match="storage corrupted"):
+            conn.durability._collect_crowd_answers()
+        monkeypatch.undo()
+        conn.close()
+
     def test_direct_update_invalidates_warm_answer_for_late_runtimes(self, tmp_path):
         conn = make_db(tmp_path / "db")
         conn.add_perceptual_column("movies", "is_comedy")

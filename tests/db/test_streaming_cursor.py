@@ -6,7 +6,7 @@ import pytest
 
 from repro.db import Connection, connect
 from repro.db.sql.operators import SeqScan
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, UnknownColumnError
 
 N_ROWS = 100
 
@@ -130,7 +130,7 @@ class TestCursorLifecycle:
         cursor = conn.cursor()
         cursor.execute("SELECT n FROM numbers")
         cursor.fetchone()
-        with pytest.raises(Exception):
+        with pytest.raises(UnknownColumnError):
             cursor.execute("SELECT nonexistent FROM numbers")
         with pytest.raises(ExecutionError):
             cursor.fetchone()

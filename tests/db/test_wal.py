@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 from repro.db.durability import DurabilityManager
 from repro.db.types import MISSING
 from repro.db.wal import (
+    RECORD_TYPES,
     SYNCHRONOUS_MODES,
     WriteAheadLog,
     decode_cells,
@@ -60,6 +61,27 @@ class TestFraming:
 
     def test_missing_file_scans_empty(self, tmp_path):
         assert scan_wal(tmp_path / "nothing.log") == ([], 0)
+
+    def test_unknown_record_type_is_rejected(self, tmp_path):
+        # RECORD_TYPES is the closed vocabulary recovery knows how to
+        # replay; appending outside it would strand unreadable records.
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        with pytest.raises(PersistenceError, match="unknown WAL record type"):
+            wal.append("compact", {"table": "t"})
+        wal.close()
+        assert scan_wal(tmp_path / "wal.log") == ([], 0)
+
+    def test_record_types_cover_the_replay_vocabulary(self):
+        assert RECORD_TYPES == {
+            "create_table",
+            "drop_table",
+            "insert",
+            "update",
+            "delete",
+            "fill",
+            "add_column",
+            "create_index",
+        }
 
     def test_torn_tail_stops_scan(self, tmp_path):
         path = tmp_path / "wal.log"

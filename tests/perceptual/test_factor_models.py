@@ -160,7 +160,7 @@ class TestSVDModel:
     def test_unfitted_history_raises(self):
         model = SVDModel()
         with pytest.raises(PerceptualSpaceError):
-            model.history.final_rmse
+            _ = model.history.final_rmse
 
     def test_embedding_beats_unpersonalised_baseline(self, dataset, fitted_embedding):
         baseline_rmse = float(np.sqrt(np.mean((dataset.scores - dataset.global_mean) ** 2)))

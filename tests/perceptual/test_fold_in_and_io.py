@@ -93,6 +93,14 @@ class TestItemFoldIn:
         with pytest.raises(PerceptualSpaceError):
             fold.fold_in(999, [(10**7, 4.0), (10**7 + 1, 3.0), (10**7 + 2, 2.0)])
 
+    def test_malformed_user_id_propagates(self, world):
+        # Narrowed exception handling: only UnknownUserError means "skip
+        # this rating"; a rating carrying a junk user id is caller error
+        # and must surface, not be silently dropped.
+        fold = ItemFoldIn(world["model"], min_ratings=3, seed=0)
+        with pytest.raises((TypeError, ValueError)):
+            fold.fold_in(999, [("not-a-user-id", 4.0)])
+
     def test_unfitted_model_rejected(self):
         with pytest.raises(PerceptualSpaceError):
             ItemFoldIn(EuclideanEmbeddingModel())

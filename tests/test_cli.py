@@ -86,3 +86,37 @@ class TestCommands:
         space = load_space(output)
         assert space.n_items == 80
         assert space.metadata["corpus"] == "movies"
+
+
+class TestLint:
+    @pytest.fixture(autouse=True)
+    def _from_repo_root(self, monkeypatch):
+        from pathlib import Path
+
+        monkeypatch.chdir(Path(__file__).resolve().parent.parent)
+
+    def test_lint_src_is_clean(self, capsys):
+        assert main(["lint", "src"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "lock-order" in out
+        assert "charge-once" in out
+
+    def test_lint_flags_violations(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "seeded-rng" in capsys.readouterr().out
+
+    def test_lint_writes_json_report(self, tmp_path):
+        import json
+
+        report_path = tmp_path / "reprolint.json"
+        code = main(["lint", "src", "--format", "json", "--output", str(report_path)])
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["summary"]["ok"] is True
+        assert len(payload["rules"]) >= 8
