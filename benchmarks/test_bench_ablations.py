@@ -13,10 +13,14 @@ components the paper's results rest on:
 
 from __future__ import annotations
 
+import math
+import threading
 import time
+from typing import Any, Sequence
 
 import numpy as np
 
+import repro.client
 from repro.core.extractor import PerceptualAttributeExtractor
 from repro.core.prediction import PerceptualPredictor
 from repro.crowd.platform import CrowdPlatform
@@ -29,6 +33,7 @@ from repro.learn.metrics import g_mean
 from repro.learn.model_selection import sample_balanced_training_set
 from repro.perceptual.factorization import FactorModelConfig
 from repro.perceptual.svd_model import SVDModel
+from repro.server import ReproServer, ServerConfig, TenantConfig
 from repro.utils.tables import format_table
 
 
@@ -604,5 +609,155 @@ def test_ablation_sql_engine_throughput(benchmark, movie_context, report_writer,
                 ("statement-cache speedup", f"{speedup:.2f}x"),
             ],
             title="Ablation: SQL engine workload",
+        ),
+    )
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile (no interpolation; conservative for p99)."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+class _MeteredSource:
+    """ValueSource answering a constant and counting platform dispatches."""
+
+    def __init__(self) -> None:
+        self.dispatches = 0
+        self._lock = threading.Lock()
+
+    def request_values_with_cost(
+        self, attribute: str, items: Sequence[tuple[int, dict[str, Any]]]
+    ) -> tuple[dict[int, Any], float]:
+        with self._lock:
+            self.dispatches += 1
+        return {rowid: 0.8 for rowid, _row in items}, 0.05 * len(items)
+
+
+def test_ablation_served_load(report_writer, metric_writer, repetitions):
+    """The served database under concurrent wire load.
+
+    Two claims of the server subsystem (``repro serve``) are quantified:
+
+    * **it holds concurrency** — 64 wire clients, each authenticated as its
+      own tenant, hammer point lookups through the full stack (framing ->
+      tenancy -> rate limit -> admission -> worker pool -> engine) with
+      zero errors and zero admission rejects; per-request p50/p99 latency
+      and aggregate throughput land in ``BENCH_results.json`` so CI's
+      bench-regression gate catches a server slowdown;
+    * **crowd spend amortizes across tenants** — a second tenant's repeat
+      of a crowd-touching query costs zero additional platform calls (the
+      economic point of serving one shared catalog: answers are paid for
+      once, served from the shared AnswerCache thereafter).
+    """
+    n_clients = 64
+    n_rows = 128
+    requests_per_client = 4 * repetitions
+
+    config = ServerConfig(port=0, max_inflight=2 * n_clients, executor_threads=8)
+    errors: list[BaseException] = []
+    buckets: list[list[float]] = [[] for _ in range(n_clients)]
+    barrier = threading.Barrier(n_clients + 1)
+
+    with ReproServer(config) as server:
+        host, port = server.address
+        with repro.client.connect(host, port, tenant="seed") as seed:
+            seed.execute(
+                "CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT, year INTEGER)"
+            )
+            seed.cursor().executemany(
+                "INSERT INTO movies (item_id, name, year) VALUES (?, ?, ?)",
+                [(i, f"movie-{i}", 1960 + i % 60) for i in range(1, n_rows + 1)],
+            )
+
+        def client_run(idx: int) -> None:
+            try:
+                conn = repro.client.connect(host, port, tenant=f"load-{idx}")
+                barrier.wait(timeout=60)
+                for step in range(requests_per_client):
+                    item = (idx * 31 + step * 7) % n_rows + 1
+                    start = time.perf_counter()
+                    rows = conn.execute(
+                        "SELECT name, year FROM movies WHERE item_id = ?", (item,)
+                    ).fetchall()
+                    buckets[idx].append(time.perf_counter() - start)
+                    assert rows[0][0] == f"movie-{item}"
+                conn.close()
+            except BaseException as exc:  # surfaced in the main thread below
+                errors.append(exc)
+                barrier.abort()  # do not leave the other parties hanging
+
+        threads = [
+            threading.Thread(target=client_run, args=(i,), daemon=True) for i in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=60)  # all clients connected; release the load
+        load_start = time.perf_counter()
+        for thread in threads:
+            thread.join(timeout=120)
+        elapsed = time.perf_counter() - load_start
+        stats = server.stats()
+
+    assert not errors, f"served load produced client errors: {errors[:3]}"
+    latencies = [sample for bucket in buckets for sample in bucket]
+    total_requests = n_clients * requests_per_client
+    assert len(latencies) == total_requests
+    assert stats["rejected"] == 0  # max_inflight=128 must admit 64 clients
+
+    p50_ms = _percentile(latencies, 0.50) * 1000.0
+    p99_ms = _percentile(latencies, 0.99) * 1000.0
+    throughput = total_requests / elapsed
+    metric_writer("served_load_clients", n_clients)
+    metric_writer("served_load_p50_ms", p50_ms)
+    metric_writer("served_load_p99_ms", p99_ms)
+    metric_writer("served_load_throughput_rps", throughput)
+
+    # -- cross-tenant crowd reuse over the wire --------------------------------
+    source = _MeteredSource()
+
+    def factory(tenant: TenantConfig) -> SessionContext:
+        session = SessionContext(max_cost=tenant.max_cost, value_source=source)
+        # Keep answers out of storage so the zero-call repeat below is
+        # carried by the shared AnswerCache, not by write-back.
+        session.crowd_write_back = False
+        return session
+
+    tenants = [TenantConfig(name="alice", max_cost=5.0), TenantConfig(name="bob", max_cost=5.0)]
+    with ReproServer(ServerConfig(port=0), tenants=tenants, session_factory=factory) as srv:
+        alice = repro.client.connect(*srv.address, tenant="alice")
+        alice.execute(
+            "CREATE TABLE items (item_id INTEGER PRIMARY KEY, name TEXT, appeal REAL PERCEPTUAL)"
+        )
+        for i in range(1, 17):
+            alice.execute("INSERT INTO items (item_id, name) VALUES (?, ?)", (i, f"i{i}"))
+        assert alice.execute("SELECT COUNT(appeal) FROM items").fetchall() == [(16,)]
+        paid = source.dispatches
+        assert paid >= 1
+        bob = repro.client.connect(*srv.address, tenant="bob")
+        assert bob.execute("SELECT COUNT(appeal) FROM items").fetchall() == [(16,)]
+        extra = source.dispatches - paid
+        alice.close()
+        bob.close()
+
+    metric_writer("served_cross_tenant_repeat_platform_calls", extra)
+    assert extra == 0, f"tenant repeat should be served from the answer cache, paid {extra} calls"
+
+    report_writer(
+        "ablation_served_load",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("concurrent wire clients (tenants)", n_clients),
+                ("requests per client", requests_per_client),
+                ("total requests", total_requests),
+                ("p50 latency", f"{p50_ms:.1f} ms"),
+                ("p99 latency", f"{p99_ms:.1f} ms"),
+                ("throughput", f"{throughput:.0f} req/s"),
+                ("admission rejects", stats["rejected"]),
+                ("cross-tenant repeat platform calls", extra),
+            ],
+            title="Ablation: served database under concurrent load",
         ),
     )

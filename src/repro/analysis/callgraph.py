@@ -204,6 +204,10 @@ class CallSite:
     node: ast.Call
     #: Lock ids lexically held (outermost first) at the call site.
     held: tuple[str, ...]
+    #: True when the call is the direct operand of an ``await`` — inside a
+    #: coroutine, an awaited ``sleep``/``wait`` yields to the event loop
+    #: instead of blocking it (the distinction ``lock-blocking`` relies on).
+    awaited: bool = False
 
 
 @dataclass
@@ -224,6 +228,9 @@ class FunctionInfo:
     cls: str | None
     name: str
     node: ast.AST
+    #: True for ``async def`` — such functions run on the event loop, so
+    #: non-awaited blocking calls inside them stall every connection.
+    is_async: bool = False
     lock_sites: list[LockSite] = field(default_factory=list)
     call_sites: list[CallSite] = field(default_factory=list)
     #: Locks this function may acquire, directly or via callees
@@ -245,6 +252,13 @@ class _FunctionCollector(ast.NodeVisitor):
     def __init__(self, info: FunctionInfo) -> None:
         self.info = info
         self.stack: list[str] = []
+        #: ``id()`` of Call nodes that are the direct operand of an await.
+        self._awaited: set[int] = set()
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if isinstance(node.value, ast.Call):
+            self._awaited.add(id(node.value))
+        self.generic_visit(node)
 
     def visit_With(self, node: ast.With) -> None:
         self._handle_with(node)
@@ -279,9 +293,17 @@ class _FunctionCollector(ast.NodeVisitor):
     def _record_call(self, node: ast.Call) -> None:
         func = node.func
         held = tuple(self.stack)
+        awaited = id(node) in self._awaited
         if isinstance(func, ast.Name):
             self.info.call_sites.append(
-                CallSite(kind="bare", receiver=None, name=func.id, node=node, held=held)
+                CallSite(
+                    kind="bare",
+                    receiver=None,
+                    name=func.id,
+                    node=node,
+                    held=held,
+                    awaited=awaited,
+                )
             )
         elif isinstance(func, ast.Attribute):
             path = attribute_path(func)
@@ -292,7 +314,14 @@ class _FunctionCollector(ast.NodeVisitor):
             else:
                 kind, receiver = "attr", path[-2] if len(path) >= 2 else None
             self.info.call_sites.append(
-                CallSite(kind=kind, receiver=receiver, name=path[-1], node=node, held=held)
+                CallSite(
+                    kind=kind,
+                    receiver=receiver,
+                    name=path[-1],
+                    node=node,
+                    held=held,
+                    awaited=awaited,
+                )
             )
 
     # Nested function/class definitions get their own FunctionInfo via the
@@ -325,7 +354,13 @@ def index_functions(modules: Iterable[Module]) -> list[FunctionInfo]:
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             cls = _enclosing_class(module.tree, node)
-            info = FunctionInfo(module=module, cls=cls, name=node.name, node=node)
+            info = FunctionInfo(
+                module=module,
+                cls=cls,
+                name=node.name,
+                node=node,
+                is_async=isinstance(node, ast.AsyncFunctionDef),
+            )
             _FunctionCollector(info).visit(node)
             infos.append(info)
     return infos

@@ -14,6 +14,15 @@ database.  The rule is deliberately lexical: the WAL design *does* fsync
 under the catalog lock through the journal indirection (that ordering is
 what makes recovery correct), so only direct, same-function blocking
 calls are flagged.
+
+With the served database the same rule also guards the *event loop*: the
+``repro/server/`` front-end runs every connection on one asyncio loop, so
+a blocking call inside an ``async def`` that is **not awaited** —
+``time.sleep`` instead of ``await asyncio.sleep``, ``future.result()``
+instead of ``await future`` — stalls every client at once, exactly like
+blocking under ``Catalog.lock`` stalls every statement.  Awaited calls
+are fine (they yield to the loop); blocking work belongs on the server's
+worker pool via ``run_in_executor``.
 """
 
 from __future__ import annotations
@@ -73,10 +82,13 @@ class LockOrderRule(Rule):
 @register
 class LockBlockingRule(Rule):
     id = "lock-blocking"
-    summary = "no blocking calls while holding Catalog.lock"
+    summary = "no blocking calls under Catalog.lock or on the event loop"
     rationale = (
         "Catalog.lock serialises every statement; a crowd dispatch, fsync, "
         "sleep, or future/event wait held under it stalls the whole engine. "
+        "Likewise the server's asyncio loop serialises every connection: a "
+        "non-awaited blocking call inside a coroutine stalls all clients — "
+        "await the async equivalent or move the work to run_in_executor. "
         "The check is lexical on purpose: the journal indirection is allowed "
         "to fsync under the lock (that ordering is the durability contract)."
     )
@@ -85,15 +97,28 @@ class LockBlockingRule(Rule):
     def check_module(self, module: Module, project: Project) -> Iterable[Finding]:
         for info in index_functions([module]):
             for site in info.call_sites:
-                if "Catalog.lock" not in site.held:
+                if site.name not in BLOCKING_NAMES:
                     continue
-                if site.name in BLOCKING_NAMES:
+                if "Catalog.lock" in site.held:
                     yield Finding(
                         rule=self.id,
                         message=(
                             f"blocking call {site.name}() while holding "
                             f"Catalog.lock (in {info.qualname}); move the slow "
                             "work outside the lock"
+                        ),
+                        path=module.path,
+                        line=site.node.lineno,
+                        col=site.node.col_offset,
+                    )
+                elif info.is_async and not site.awaited:
+                    yield Finding(
+                        rule=self.id,
+                        message=(
+                            f"blocking call {site.name}() inside coroutine "
+                            f"{info.qualname} is not awaited and stalls the "
+                            "event loop; await an async equivalent or move it "
+                            "to run_in_executor"
                         ),
                         path=module.path,
                         line=site.node.lineno,

@@ -1,10 +1,12 @@
 """Command-line interface for the reproduction package.
 
-Three entry points::
+Entry points::
 
     python -m repro demo                     # end-to-end schema expansion demo
     python -m repro experiment table3        # regenerate one paper table/figure
     python -m repro build-space out.npz      # build + persist a perceptual space
+    python -m repro serve --db-path d/       # serve a database to network clients
+    python -m repro lint                     # project-invariant static analysis
 
 The experiment command accepts ``--scale small|default`` so the paper
 tables can be regenerated quickly (small) or at the standard benchmark
@@ -76,6 +78,52 @@ def build_parser() -> argparse.ArgumentParser:
     build_space.add_argument("--seed", type=int, default=0)
     build_space.add_argument(
         "--ratings-output", default=None, help="optional path to also persist the rating data"
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a database directory to network clients (repro.client)",
+    )
+    serve.add_argument(
+        "--db-path",
+        default=None,
+        help="database directory to own and serve (omit for an in-memory catalog)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7457)
+    serve.add_argument(
+        "--tenants",
+        metavar="FILE",
+        default=None,
+        help=(
+            "JSON file with a list of tenant configs "
+            '([{"name": ..., "token": ..., "max_cost": ..., '
+            '"max_requests_per_second": ...}]); omitted = open registry'
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission-control cap on concurrently executing statements",
+    )
+    serve.add_argument(
+        "--executor-threads",
+        type=int,
+        default=8,
+        help="worker threads running blocking engine calls",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        help="seconds to wait for in-flight statements on SIGTERM",
+    )
+    serve.add_argument(
+        "--synchronous",
+        choices=("full", "normal"),
+        default=None,
+        help="WAL durability mode of the served database directory",
     )
 
     lint = subparsers.add_parser(
@@ -249,6 +297,40 @@ def _run_build_space(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import logging
+
+    from repro.server import ReproServer, ServerConfig, TenantConfig
+
+    logging.basicConfig(level=logging.INFO, format="%(asctime)s %(name)s %(message)s")
+    tenants: list[TenantConfig] = []
+    if args.tenants:
+        with open(args.tenants, encoding="utf-8") as handle:
+            raw = json.load(handle)
+        if not isinstance(raw, list):
+            raise SystemExit(f"{args.tenants}: expected a JSON list of tenant configs")
+        tenants = [TenantConfig.from_mapping(entry) for entry in raw]
+    server = ReproServer(
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            path=args.db_path,
+            synchronous=args.synchronous,
+            max_inflight=args.max_inflight,
+            executor_threads=args.executor_threads,
+            drain_grace=args.drain_grace,
+        ),
+        tenants=tenants,
+    )
+    # Blocks until SIGTERM/SIGINT, then drains: in-flight statements
+    # finish, the WAL group-commit buffer is flushed, a final snapshot
+    # checkpoint is published, and the directory lock is released.
+    asyncio.run(server.serve_async(install_signal_handlers=True))
+    return 0
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as lint_main
 
@@ -275,6 +357,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_experiment(args)
     if args.command == "build-space":
         return _run_build_space(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "lint":
         return _run_lint(args)
     parser.error(f"unknown command {args.command!r}")

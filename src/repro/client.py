@@ -1,0 +1,12 @@
+"""Convenience alias: ``repro.client.connect(host, port)``.
+
+The canonical implementation lives in :mod:`repro.server.client`; this
+module exists so served-database applications read naturally::
+
+    import repro.client
+    conn = repro.client.connect("127.0.0.1", 7457, tenant="alice")
+"""
+
+from repro.server.client import ClientConnection, ClientCursor, connect
+
+__all__ = ["ClientConnection", "ClientCursor", "connect"]

@@ -145,6 +145,13 @@ class SessionContext:
     answer_cache_size, answer_cache_ttl:
         Capacity and expiry (seconds; ``None`` = never) of the runtime's
         cross-query :class:`~repro.crowd.runtime.AnswerCache`.
+    on_runtime_knobs_ignored:
+        Optional callback invoked (instead of emitting the
+        ``RuntimeWarning``) when this session's explicit runtime knobs are
+        ignored because the catalog's shared runtime was already created
+        first-caller-wins with different knobs.  The server installs this
+        to aggregate per-tenant mismatches into one log line rather than
+        warning once per tenant session.
     """
 
     def __init__(
@@ -163,6 +170,7 @@ class SessionContext:
         max_concurrent_batches: int | None = None,
         answer_cache_size: int | None = None,
         answer_cache_ttl: float | None = _UNSET,
+        on_runtime_knobs_ignored: Callable[[], None] | None = None,
     ) -> None:
         #: Whether the caller expressed runtime knobs at all — a session
         #: that kept the defaults must not be warned when the catalog's
@@ -191,6 +199,7 @@ class SessionContext:
         self.max_concurrent_batches = max_concurrent_batches
         self.answer_cache_size = answer_cache_size
         self.answer_cache_ttl = answer_cache_ttl
+        self.on_runtime_knobs_ignored = on_runtime_knobs_ignored
 
     def crowd_spec(self, runtime: Any = None) -> CrowdFillSpec | None:
         """The batch crowd-fill configuration, or None when not set up.
@@ -779,14 +788,17 @@ class Connection:
             # the catalog first) with different knobs; a silent no-op here
             # would make e.g. a TTL setting appear to just not work.
             self._runtime_knobs_warned = True
-            warnings.warn(
-                "this session's acquisition-runtime knobs differ from the "
-                "catalog's shared runtime (created first-caller-wins); pass "
-                "a session-private runtime via set_acquisition_runtime() or "
-                "SessionContext(runtime=...) to apply them",
-                RuntimeWarning,
-                stacklevel=3,
-            )
+            if self.session.on_runtime_knobs_ignored is not None:
+                self.session.on_runtime_knobs_ignored()
+            else:
+                warnings.warn(
+                    "this session's acquisition-runtime knobs differ from the "
+                    "catalog's shared runtime (created first-caller-wins); pass "
+                    "a session-private runtime via set_acquisition_runtime() or "
+                    "SessionContext(runtime=...) to apply them",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
         return shared
 
     def expansion(self) -> "ExpansionPipeline":

@@ -105,6 +105,38 @@ class PersistenceError(DatabaseError):
 
 
 # ---------------------------------------------------------------------------
+# Server / wire-protocol errors
+# ---------------------------------------------------------------------------
+
+class ServerError(ReproError):
+    """Base class for errors raised by :mod:`repro.server`."""
+
+
+class WireProtocolError(ServerError):
+    """Raised when a wire frame or message violates the protocol.
+
+    Covers malformed frame headers, oversized frames, payloads that are
+    not valid UTF-8 JSON objects, and requests missing required fields.
+    The server answers with a typed ``protocol`` wire error and — when the
+    framing itself is still intact — keeps the connection alive.
+    """
+
+
+class TenantAuthError(ServerError):
+    """Raised when a ``connect`` request names an unknown tenant or
+    presents the wrong token."""
+
+
+class RateLimitError(ServerError):
+    """Raised when a tenant exceeds its configured request rate."""
+
+
+class ServerOverloadedError(ServerError):
+    """Raised by admission control when the server is at max in-flight
+    statements; clients should back off and retry."""
+
+
+# ---------------------------------------------------------------------------
 # Crowd-platform errors
 # ---------------------------------------------------------------------------
 

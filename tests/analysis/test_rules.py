@@ -181,6 +181,75 @@ class TestLockBlocking:
         )
         assert findings == []
 
+    def test_flags_sync_sleep_inside_coroutine(self):
+        # time.sleep inside an async def blocks the whole event loop.
+        findings = findings_of(
+            {
+                "src/repro/server/server.py": """
+                import time
+
+                class Handler:
+                    async def run(self):
+                        time.sleep(0.1)
+                """
+            },
+            "lock-blocking",
+        )
+        assert len(findings) == 1
+        assert "event loop" in findings[0].message
+        assert "sleep" in findings[0].message
+
+    def test_flags_future_result_inside_coroutine(self):
+        findings = findings_of(
+            {
+                "src/repro/server/server.py": """
+                class Handler:
+                    async def run(self, future):
+                        return future.result()
+                """
+            },
+            "lock-blocking",
+        )
+        assert len(findings) == 1
+        assert "result" in findings[0].message
+
+    def test_awaited_sleep_and_wait_are_clean(self):
+        # Awaited calls yield to the loop instead of blocking it, and
+        # run_in_executor is the sanctioned home for blocking work.
+        findings = findings_of(
+            {
+                "src/repro/server/server.py": """
+                import asyncio
+
+                class Server:
+                    async def drain(self):
+                        await asyncio.sleep(0.02)
+                        await self._stop_event.wait()
+
+                    async def dispatch(self, loop, fn):
+                        return await loop.run_in_executor(None, fn)
+                """
+            },
+            "lock-blocking",
+        )
+        assert findings == []
+
+    def test_sync_helper_in_server_module_not_event_loop_checked(self):
+        # Only coroutine bodies are event-loop territory; a sync helper
+        # may block (it runs on a worker or the caller's thread).
+        findings = findings_of(
+            {
+                "src/repro/server/server.py": """
+                class Server:
+                    def stop(self, thread):
+                        thread.join(timeout=5.0)
+                        self._started.wait(timeout=5.0)
+                """
+            },
+            "lock-blocking",
+        )
+        assert findings == []
+
 
 class TestChargeOnce:
     def test_flags_dispatch_outside_runtime_layer(self):
@@ -636,6 +705,45 @@ class TestThreadChokepoint:
             "thread-chokepoint",
         )
         assert findings == []
+
+    def test_server_package_is_sanctioned(self):
+        # The served-database front-end owns its event loop, worker pool
+        # and background server thread (all drained on shutdown).
+        findings = findings_of(
+            {
+                "src/repro/server/server.py": """
+                import threading
+                from concurrent.futures import ThreadPoolExecutor
+
+                class ReproServer:
+                    def _open(self):
+                        self._executor = ThreadPoolExecutor(max_workers=8)
+
+                    def start(self):
+                        self._thread = threading.Thread(target=self._run, daemon=True)
+                        self._thread.start()
+                """
+            },
+            "thread-chokepoint",
+        )
+        assert findings == []
+
+    def test_server_sibling_modules_still_flagged(self):
+        # Sanctioning repro/server/ must not leak to e.g. the client
+        # module's neighbours elsewhere in the tree.
+        findings = findings_of(
+            {
+                "src/repro/db/durability.py": """
+                import threading
+
+                def watcher(fn):
+                    return threading.Timer(1.0, fn)
+                """
+            },
+            "thread-chokepoint",
+        )
+        assert len(findings) == 1
+        assert "Timer" in findings[0].message
 
     def test_tests_are_out_of_scope(self):
         findings = findings_of(

@@ -203,6 +203,28 @@ class TestSharedRuntimeKnobs:
             warnings_module.simplefilter("error")
             second.acquisition_runtime()
 
+    def test_ignored_knobs_callback_replaces_warning(self):
+        # The server installs on_runtime_knobs_ignored on tenant sessions
+        # so mismatches aggregate into one log line instead of warning
+        # once per tenant; with the hook set, no RuntimeWarning escapes.
+        import warnings as warnings_module
+
+        catalog = Catalog()
+        first = make_items_connection(2, catalog)
+        first.acquisition_runtime()  # shared runtime created with defaults
+        calls: list[int] = []
+        session = SessionContext(
+            answer_cache_ttl=60.0, on_runtime_knobs_ignored=lambda: calls.append(1)
+        )
+        second = Connection(catalog, session=session)
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            second.acquisition_runtime()
+        assert calls == [1]
+        # Still once per connection, exactly like the warning path.
+        second.acquisition_runtime()
+        assert calls == [1]
+
     def test_default_knob_sessions_never_warn(self):
         # A session that never expressed runtime knobs must not be warned
         # about a shared runtime configured by someone else.

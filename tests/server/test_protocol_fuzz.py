@@ -1,0 +1,196 @@
+"""Hypothesis fuzzing of the wire protocol and a live server's framing.
+
+Three layers of the same contract:
+
+* sans-IO: any bytes fed to the frame decoder either produce a message or
+  raise the *typed* :class:`~repro.errors.WireProtocolError` — never a
+  bare ``ValueError``/``KeyError`` that would crash a handler;
+* round-trip: valid messages survive ``decode(encode(m)) == m``, and
+  because encoding is canonical the bytes themselves are a fixed point
+  (``encode(decode(encode(m))) == encode(m)``);
+* live: a real server fed garbage, truncated, or oversized frames answers
+  with a typed ``protocol`` wire error where the stream is still in sync,
+  drops the connection where it is not, and keeps serving fresh
+  connections either way.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireProtocolError
+from repro.server import ReproServer, ServerConfig, protocol
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=10,
+)
+
+messages = st.dictionaries(st.text(min_size=1, max_size=12), json_values, max_size=6)
+
+
+class TestSansIO:
+    @given(payload=st.binary(max_size=256))
+    @settings(max_examples=200, deadline=None)
+    def test_decode_payload_is_total(self, payload):
+        try:
+            message = protocol.decode_payload(payload)
+        except WireProtocolError:
+            return
+        assert isinstance(message, dict)
+
+    @given(header=st.binary(min_size=0, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_parse_header_is_total(self, header):
+        try:
+            length = protocol.parse_header(header)
+        except WireProtocolError:
+            return
+        assert 0 < length <= protocol.MAX_FRAME_BYTES
+
+    @given(message=messages)
+    @settings(max_examples=200, deadline=None)
+    def test_message_round_trip(self, message):
+        frame = protocol.encode_message(message)
+        length = protocol.parse_header(frame[: protocol.HEADER_SIZE])
+        payload = frame[protocol.HEADER_SIZE :]
+        assert length == len(payload)
+        assert protocol.decode_payload(payload) == message
+
+    @given(message=messages)
+    @settings(max_examples=200, deadline=None)
+    def test_canonical_encoding_is_a_fixed_point(self, message):
+        frame = protocol.encode_message(message)
+        decoded = protocol.decode_payload(frame[protocol.HEADER_SIZE :])
+        assert protocol.encode_message(decoded) == frame
+
+    @given(message=messages)
+    @settings(max_examples=100, deadline=None)
+    def test_validate_request_is_total(self, message):
+        try:
+            op = protocol.validate_request(message)
+        except WireProtocolError:
+            return
+        assert op in protocol.REQUEST_OPS
+
+
+# ---------------------------------------------------------------------------
+# Live-server framing fuzz
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fuzz_server():
+    with ReproServer(ServerConfig(port=0, max_frame_bytes=64 * 1024)) as server:
+        yield server
+
+
+def _open(server: ReproServer) -> socket.socket:
+    sock = socket.create_connection(server.address, timeout=10.0)
+    return sock
+
+
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+
+
+def _read_response(sock: socket.socket) -> dict:
+    header = _read_exactly(sock, 4)
+    (length,) = struct.unpack(">I", header)
+    return json.loads(_read_exactly(sock, length))
+
+
+def _read_exactly(sock: socket.socket, n: int) -> bytes:
+    out = b""
+    while len(out) < n:
+        chunk = sock.recv(n - len(out))
+        assert chunk, "server closed the connection unexpectedly"
+        out += chunk
+    return out
+
+
+class TestLiveFraming:
+    @given(payload=st.binary(min_size=1, max_size=512))
+    @settings(
+        max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_garbage_payload_yields_typed_error_and_connection_survives(
+        self, fuzz_server, payload
+    ):
+        try:
+            decoded_op = json.loads(payload.decode("utf-8")).get("op")
+        except (ValueError, AttributeError):
+            decoded_op = None
+        with _open(fuzz_server) as sock:
+            _send_frame(sock, payload)
+            response = _read_response(sock)
+            if response.get("ok"):
+                # The random bytes happened to be a valid request (only
+                # plausible for a well-formed JSON object); anything else
+                # must be a typed wire error.
+                assert decoded_op in protocol.REQUEST_OPS
+            else:
+                assert response["error"]["code"] in {"protocol", "auth"}
+            if decoded_op == "close":
+                return  # the one request that legitimately ends the stream
+            # Same connection still speaks protocol afterwards.
+            _send_frame(sock, b'{"op":"close"}')
+            assert _read_response(sock)["ok"] is True
+
+    def test_oversized_frame_yields_typed_error_then_close(self, fuzz_server):
+        with _open(fuzz_server) as sock:
+            sock.sendall(struct.pack(">I", 2**31))
+            response = _read_response(sock)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "protocol"
+            # The stream cannot be resynced after a bad header: the server
+            # hangs up...
+            assert sock.recv(1) == b""
+        # ... but keeps accepting fresh connections.
+        with _open(fuzz_server) as sock:
+            _send_frame(sock, b'{"op":"close"}')
+            assert _read_response(sock)["ok"] is True
+
+    def test_truncated_frame_drops_connection_server_survives(self, fuzz_server):
+        with _open(fuzz_server) as sock:
+            sock.sendall(struct.pack(">I", 100) + b"only ten b")
+            sock.shutdown(socket.SHUT_WR)
+            assert sock.recv(1) == b""  # dropped without a response
+        with _open(fuzz_server) as sock:
+            _send_frame(sock, b'{"op":"close"}')
+            assert _read_response(sock)["ok"] is True
+
+    def test_zero_length_frame_yields_typed_error(self, fuzz_server):
+        with _open(fuzz_server) as sock:
+            sock.sendall(struct.pack(">I", 0))
+            response = _read_response(sock)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "protocol"
+
+    def test_valid_round_trip_is_byte_exact_over_the_wire(self, fuzz_server):
+        request = {"op": "connect", "tenant": "fuzz", "protocol": 1}
+        frame = protocol.encode_message(request)
+        with _open(fuzz_server) as sock:
+            sock.sendall(frame)
+            response = _read_response(sock)
+            assert response["ok"] is True
+            # Canonical encoding: re-encoding the decoded response equals
+            # the exact bytes the server sent.
+            assert (
+                protocol.encode_message(response)[protocol.HEADER_SIZE :]
+                == json.dumps(
+                    response, sort_keys=True, separators=(",", ":")
+                ).encode()
+            )

@@ -74,6 +74,7 @@ def test_docs_tree_is_complete():
         "acquisition.md",
         "persistence.md",
         "api.md",
+        "server.md",
     ):
         assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} is missing"
 
@@ -96,3 +97,17 @@ def test_readme_quickstart_executes():
     code = extract_first_python_block(REPO_ROOT / "README.md")
     namespace: dict[str, object] = {"__name__": "readme_quickstart"}
     exec(compile(code, "README.md::quickstart", "exec"), namespace)  # noqa: S102
+
+
+def test_served_database_example_executes():
+    """The docs/server.md walkthrough (examples/served_database.py) runs.
+
+    The example asserts its own punchline — the second tenant's repeat of
+    a crowd query costs zero additional platform calls — so executing it
+    is the regression test for the cross-tenant reuse the page documents.
+    """
+    import runpy
+
+    runpy.run_path(
+        str(REPO_ROOT / "examples" / "served_database.py"), run_name="__main__"
+    )
