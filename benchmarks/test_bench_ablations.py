@@ -251,7 +251,8 @@ def test_ablation_hybrid_acquisition(movie_context, report_writer, metric_writer
             items_per_hit=10,
             seed=13,
         )
-        conn.set_value_source(source, batch_size=batch_size)
+        conn.set_value_source(source)
+        conn.set_policy(conn.policy.with_overrides(crowd_batch_size=batch_size))
         if hybrid:
             conn.set_predictor(
                 PerceptualPredictor(movie_context.space, seed=0), sample_fraction=0.25
@@ -359,7 +360,8 @@ def test_ablation_concurrent_acquisition(report_writer, metric_writer):
             seed=13,
             latency_seconds=latency,
         )
-        conn.set_value_source(source, batch_size=batch_size)
+        conn.set_value_source(source)
+        conn.set_policy(conn.policy.with_overrides(crowd_batch_size=batch_size))
         return conn, source
 
     sql = "SELECT item_id, funny, scary, romantic, violent FROM items"
@@ -491,7 +493,8 @@ def test_ablation_durability(tmp_path, report_writer, metric_writer):
     )
     conn.add_perceptual_column("items", "is_fun")
     first_source = build_source()
-    conn.set_value_source(first_source, batch_size=10)
+    conn.set_value_source(first_source)
+    conn.set_policy(conn.policy.with_overrides(crowd_batch_size=10))
     first_rows = conn.execute(sql).fetchall()
     paid_dispatches = first_source.dispatches
     assert paid_dispatches > 0
@@ -499,7 +502,8 @@ def test_ablation_durability(tmp_path, report_writer, metric_writer):
 
     reopened = repro.connect(path=db_path)
     fresh_source = build_source()
-    reopened.set_value_source(fresh_source, batch_size=10)
+    reopened.set_value_source(fresh_source)
+    reopened.set_policy(reopened.policy.with_overrides(crowd_batch_size=10))
     repeat_rows = reopened.execute(sql).fetchall()
     assert repeat_rows == first_rows
     assert fresh_source.dispatches == 0, (
@@ -759,5 +763,92 @@ def test_ablation_served_load(report_writer, metric_writer, repetitions):
                 ("cross-tenant repeat platform calls", extra),
             ],
             title="Ablation: served database under concurrent load",
+        ),
+    )
+
+
+def test_ablation_enumeration(report_writer, metric_writer):
+    """Open-world enumeration: the Chao92 stopping rule vs. exhaustion.
+
+    Two claims of ``INSERT ... FROM CROWD`` are quantified:
+
+    * **stopping early pays** — with a ``COMPLETENESS >= 0.9`` target the
+      enumeration reaches >=90% *true* coverage of the simulated universe
+      in a handful of platform calls instead of grinding to exhaustion
+      (``enum_platform_calls_at_90pct``, gated with a max bound);
+    * **the estimate is honest** — at stop time the Chao92
+      ``est_coverage`` may not drift far from the true coverage
+      (``enum_est_coverage_error``, gated with a max bound).
+    """
+    import repro
+
+    universe = [f"species-{i:02d}" for i in range(20)]
+
+    def build_source() -> SimulatedCrowdValueSource:
+        return SimulatedCrowdValueSource(
+            CrowdPlatform(seed=11),
+            WorkerPool.build(n_honest=5, seed=3),
+            truth={},
+            seed=7,
+            universe={"birds": universe},
+            answers_per_batch=25,
+            payment_per_hit=0.05,
+        )
+
+    def enumerate_birds(sql: str) -> tuple[dict, int]:
+        source = build_source()
+        conn = repro.connect()
+        conn.set_value_source(source)
+        conn.execute("CREATE TABLE birds (bird_id INTEGER PRIMARY KEY, name TEXT)")
+        stats = conn.execute(sql).result.enumeration
+        conn.close()
+        return stats, source.dispatches
+
+    stopping, stopping_calls = enumerate_birds(
+        "INSERT INTO birds (name) FROM CROWD WHERE 'birds' WITH COMPLETENESS >= 0.9"
+    )
+    exhaustive, exhaustive_calls = enumerate_birds(
+        "INSERT INTO birds (name) FROM CROWD WHERE 'birds'"
+    )
+
+    assert stopping["stopped_on"] == "completeness"
+    true_coverage = stopping["unique_seen"] / len(universe)
+    assert true_coverage >= 0.9, (
+        f"the completeness stop must actually deliver >=90% of the true "
+        f"universe, got {true_coverage:.0%}"
+    )
+    metric_writer("enum_platform_calls_at_90pct", stopping_calls)
+    assert stopping_calls <= 8, (
+        f"reaching 90% coverage should take a handful of platform calls, "
+        f"got {stopping_calls}"
+    )
+    assert stopping_calls < exhaustive_calls, (
+        "the stopping rule must beat enumerating to exhaustion "
+        f"({stopping_calls} vs {exhaustive_calls} platform calls)"
+    )
+
+    coverage_error = abs(stopping["est_coverage"] - true_coverage)
+    metric_writer("enum_est_coverage_error", coverage_error)
+    assert coverage_error <= 0.25, (
+        f"Chao92 estimate drifted {coverage_error:.2f} from true coverage "
+        f"at stop time"
+    )
+
+    report_writer(
+        "ablation_enumeration",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("true universe size", len(universe)),
+                ("platform calls to >=90% coverage", stopping_calls),
+                ("platform calls to exhaustion", exhaustive_calls),
+                ("unique entities at stop", stopping["unique_seen"]),
+                ("true coverage at stop", f"{true_coverage:.0%}"),
+                ("est_coverage at stop", f"{stopping['est_coverage']:.3f}"),
+                ("est_total at stop", f"{stopping['est_total']:.1f}"),
+                ("coverage estimate error", f"{coverage_error:.3f}"),
+                ("stopped_on", stopping["stopped_on"]),
+            ],
+            title="Ablation: open-world enumeration (Chao92 stopping rule)",
         ),
     )

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core import PerceptualAttributeExtractor
 from repro.datasets import build_movie_corpus
-from repro.db import CrowdDatabase, MISSING
+from repro.db import MISSING, connect
 from repro.db.crowd_operators import CrowdFillOperator, CrowdOrderOperator
 from repro.perceptual import EuclideanEmbeddingModel, FactorModelConfig
 
@@ -34,8 +34,8 @@ def main() -> None:
     # extractor turns it into a numeric judgment for every movie.
     labels = corpus.labels_for("Comedy")
 
-    db = CrowdDatabase()
-    db.execute(
+    db = connect()
+    db.run_statement(
         "CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT, year INTEGER,"
         " humor REAL PERCEPTUAL)"
     )
@@ -77,7 +77,7 @@ def main() -> None:
     print(f"CrowdFill obtained {report.filled}/{report.requested} humor values "
           f"({report.coverage * 100:.0f}% coverage)")
 
-    result = db.execute(
+    result = db.run_statement(
         "SELECT name, round(humor, 1) AS humor FROM movies WHERE humor IS NOT NULL "
         "ORDER BY humor DESC LIMIT 5"
     )
@@ -99,7 +99,7 @@ def main() -> None:
 
     source = HumorComparisonSource()
     order = CrowdOrderOperator(source)
-    sample_rows = db.execute("SELECT item_id, name FROM movies LIMIT 16").to_dicts()
+    sample_rows = db.run_statement("SELECT item_id, name FROM movies LIMIT 16").to_dicts()
     ranked = order.order(sample_rows, "humor", descending=True)
     print(f"\nCrowdOrder ranked {len(ranked)} movies with {order.comparisons_used} pairwise "
           f"comparisons (instead of {len(ranked) * (len(ranked) - 1) // 2} exhaustive ones):")

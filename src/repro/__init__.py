@@ -38,11 +38,14 @@ Quickstart
 >>> cur.execute("SELECT name FROM movies WHERE movie_id = ?", (1,)).fetchone()
 ('Rocky',)
 
-Crowd-sourcing hooks are configured per connection through its session
-context, e.g. ``conn.expansion().with_policy(policy).with_key("item_id")
+Crowd-sourcing hooks are configured per connection through one typed
+:class:`~repro.db.acquisition.AcquisitionPolicy`
+(``repro.connect(policy=...)`` / ``conn.set_policy(...)`` / ``PRAGMA
+acquisition_<knob>``) plus the fluent expansion builder, e.g.
+``conn.expansion().with_policy(policy).with_key("item_id")
 .allow("is_comedy").attach()`` — see ``examples/quickstart.py`` for the
-full end-to-end workflow.  The legacy ``CrowdDatabase`` facade remains
-available as a deprecated shim over the connection API.
+full end-to-end workflow.  (The long-deprecated ``CrowdDatabase`` shim
+has been removed; use :func:`repro.connect`.)
 """
 
 from repro.core import (
@@ -56,15 +59,15 @@ from repro.core import (
     SchemaExpander,
 )
 from repro.crowd import CrowdPlatform, WorkerPool
-from repro.db import Connection, CrowdDatabase, Cursor, SessionContext, connect
+from repro.db import AcquisitionPolicy, Connection, Cursor, SessionContext, connect
 from repro.errors import ReproError
 from repro.perceptual import EuclideanEmbeddingModel, PerceptualSpace, RatingDataset, SVDModel
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "AcquisitionPolicy",
     "Connection",
-    "CrowdDatabase",
     "CrowdPlatform",
     "Cursor",
     "DirectCrowdPolicy",

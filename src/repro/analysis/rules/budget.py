@@ -27,7 +27,11 @@ from repro.analysis.core import Finding, Module, Project, Rule, register
 
 __all__ = ["ChargeOnceRule"]
 
-#: Modules allowed to issue value-source dispatches directly.
+#: Modules allowed to issue value-source dispatches directly.  This
+#: sanctions the runtime itself, the simulated sources, and the physical
+#: operators that dispatch through the runtime (``CrowdFill`` and the
+#: open-world ``CrowdEnumerate``, both in ``db/sql/operators.py``) —
+#: their per-batch costs are charged exactly once by the issuing path.
 ALLOWED_DISPATCH_MODULES = (
     "crowd/runtime.py",
     "crowd/sources.py",

@@ -1,8 +1,7 @@
 """The schema expander: wiring expansion policies into the crowd database.
 
 :class:`SchemaExpander` registers itself as the expansion handler of a
-:class:`~repro.db.connection.Connection` (or of the legacy
-:class:`~repro.db.database.CrowdDatabase` shim).  When a query references a
+:class:`~repro.db.connection.Connection`.  When a query references a
 perceptual attribute that does not exist, the expander
 
 1. adds the column (MISSING everywhere),
@@ -28,8 +27,9 @@ New code should configure expansion through the fluent
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping, Union
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.ledger import ExpansionLedger
 from repro.core.policies import ExpansionPolicy, PolicyResult
@@ -39,10 +39,10 @@ from repro.errors import ExpansionError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.db.connection import Connection, SessionContext
-    from repro.db.database import CrowdDatabase
 
-#: Anything the expander can operate on: the connection API or the legacy shim.
-DatabaseLike = Union["Connection", "CrowdDatabase"]
+#: What the expander operates on.  Kept as an alias from the era of the
+#: removed ``CrowdDatabase`` shim; today it is always a Connection.
+DatabaseLike = "Connection"
 
 
 @dataclass
@@ -72,7 +72,7 @@ class SchemaExpander:
     Parameters
     ----------
     database:
-        The connection (or legacy ``CrowdDatabase``) to operate on.
+        The connection to operate on.
     policy:
         The strategy used to obtain missing values.
     key_column:
@@ -354,7 +354,19 @@ class ExpansionPipeline:
 
         The budget is applied to the session when the pipeline is built, so
         an abandoned builder never changes connection behaviour.
+
+        .. deprecated::
+            Set ``AcquisitionPolicy.max_cost`` via
+            :meth:`~repro.db.connection.Connection.set_policy` or ``PRAGMA
+            acquisition_max_cost`` instead (see docs/api.md).
         """
+        warnings.warn(
+            "ExpansionPipeline.with_budget() is deprecated; set "
+            "AcquisitionPolicy.max_cost via Connection.set_policy() or "
+            "PRAGMA acquisition_max_cost (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if getattr(self._database, "session", None) is None:
             raise ExpansionError("with_budget requires a connection with a session")
         self._budget = max_cost
@@ -370,9 +382,23 @@ class ExpansionPipeline:
         values dispatch them to *source* in coalesced batches (one platform
         call per attribute per ``batch_size`` missing rows) instead of
         resolving row by row.
+
+        .. deprecated::
+            The ``batch_size`` keyword; set
+            ``AcquisitionPolicy.crowd_batch_size`` via
+            :meth:`~repro.db.connection.Connection.set_policy` or ``PRAGMA
+            acquisition_crowd_batch_size``.
         """
         if getattr(self._database, "session", None) is None:
             raise ExpansionError("with_value_source requires a connection with a session")
+        if batch_size is not None:
+            warnings.warn(
+                "with_value_source(batch_size=...) is deprecated; set "
+                "AcquisitionPolicy.crowd_batch_size via Connection.set_policy() "
+                "or PRAGMA acquisition_crowd_batch_size (see docs/api.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if batch_size is not None and batch_size <= 0:
             raise ValueError(f"crowd batch_size must be positive, got {batch_size}")
         self._value_source = source

@@ -25,12 +25,13 @@ import threading
 import time
 from typing import Any, Mapping, Sequence
 
+from repro.crowd.estimation import enumeration_predicate
 from repro.crowd.hit import HITGroup, Question, make_task_items
 from repro.crowd.platform import CrowdPlatform, CrowdRunResult
 from repro.crowd.quality_control import QualityControl
 from repro.crowd.worker import WorkerPool
 from repro.db.types import is_missing
-from repro.utils.rng import RandomState, derive_seed
+from repro.utils.rng import RandomState, derive_seed, ensure_rng
 
 __all__ = ["SimulatedCrowdValueSource"]
 
@@ -105,6 +106,8 @@ class SimulatedCrowdValueSource:
         prompt: str = "",
         seed: RandomState = None,
         latency_seconds: float = 0.0,
+        universe: Mapping[str, Sequence[Any]] | None = None,
+        answers_per_batch: int | None = None,
     ) -> None:
         if latency_seconds < 0:
             raise ValueError("latency_seconds must be non-negative")
@@ -123,6 +126,14 @@ class SimulatedCrowdValueSource:
         self.allow_dont_know = allow_dont_know
         self._prompt = prompt
         self.latency_seconds = latency_seconds
+        if answers_per_batch is not None and answers_per_batch <= 0:
+            raise ValueError("answers_per_batch must be positive")
+        self._universe = (
+            {predicate: list(items) for predicate, items in universe.items()}
+            if universe is not None
+            else {}
+        )
+        self.answers_per_batch = answers_per_batch
         self._stats_lock = threading.Lock()
         self.dispatches = 0
         self.total_cost = 0.0
@@ -151,6 +162,9 @@ class SimulatedCrowdValueSource:
         budgets exactly even when several dispatches run concurrently
         (sampling ``total_cost`` deltas would race).
         """
+        predicate = enumeration_predicate(attribute)
+        if predicate is not None:
+            return self._enumerate_batch(predicate, items)
         rowid_to_item: dict[int, int] = {}
         for rowid, row in items:
             key = row.get(self.key_column)
@@ -202,3 +216,55 @@ class SimulatedCrowdValueSource:
             if item_id in labels
         }
         return values, result.total_cost
+
+    # -- enumeration mode ----------------------------------------------------
+
+    def _enumerate_batch(
+        self, predicate: str, items: Sequence[tuple[int, dict[str, Any]]]
+    ) -> tuple[dict[int, Any], float]:
+        """Answer one open-world enumeration HIT batch for *predicate*.
+
+        Each item id is a *batch index*, not a rowid; the answer for a
+        batch is the **list** of worker answers in that batch.  Workers
+        sample from the predicate's configured ``universe`` with a
+        popularity skew (weight proportional to ``1/(rank+1)`` over the
+        universe's listed order, Zipf-like as in the enumeration
+        experiments of Trushkowsky et al.), *with replacement* — popular
+        species recur across batches, which is exactly the duplicate
+        signal species estimators need.
+
+        Answers are a pure function of ``(seed, predicate, batch_index)``:
+        like fill mode, the child seed hashes the request identity, never
+        the dispatch order, so a seeded source enumerates the same
+        sequences at any ``max_concurrent_batches``.  A predicate without
+        a configured universe yields empty batches (the engine's dry-batch
+        rule then stops the enumeration).
+        """
+        universe = self._universe.get(predicate)
+        if universe is None:
+            lowered = predicate.casefold()
+            for name, candidate in self._universe.items():
+                if name.casefold() == lowered:
+                    universe = candidate
+                    break
+        if not universe:
+            return {batch_index: [] for batch_index, _row in items}, 0.0
+
+        count = self.answers_per_batch or self.items_per_hit
+        weights = [1.0 / (rank + 1) for rank in range(len(universe))]
+        total_weight = sum(weights)
+        probabilities = [weight / total_weight for weight in weights]
+        if self.latency_seconds:
+            time.sleep(self.latency_seconds)
+
+        values: dict[int, Any] = {}
+        cost = 0.0
+        for batch_index, _row in items:
+            rng = ensure_rng(derive_seed(self._seed, "enumerate", predicate, batch_index))
+            chosen = rng.choice(len(universe), size=count, replace=True, p=probabilities)
+            values[batch_index] = [universe[int(index)] for index in chosen]
+            cost += self.payment_per_hit
+        with self._stats_lock:
+            self.dispatches += len(items)
+            self.total_cost += cost
+        return values, cost

@@ -7,9 +7,10 @@ or rank tuples by perceptual criteria at query time.
 
 Public entry point: :func:`repro.db.connect`, returning a DB-API-2.0-style
 :class:`~repro.db.connection.Connection` with cursors, qmark parameter
-binding, a prepared-statement cache and a session-scoped crowd context.
-The legacy :class:`~repro.db.database.CrowdDatabase` facade remains as a
-deprecated shim over the connection API.
+binding, a prepared-statement cache and a session-scoped crowd context
+configured through one typed
+:class:`~repro.db.acquisition.AcquisitionPolicy`.  (The legacy
+``CrowdDatabase`` shim has been removed.)
 """
 
 from repro.db.acquisition import (
@@ -31,7 +32,6 @@ from repro.db.connection import (
     connect,
 )
 from repro.db.crowd_operators import ValueSource
-from repro.db.database import CrowdDatabase
 from repro.db.durability import DurabilityManager, open_database
 from repro.db.schema import AttributeKind, Column, ColumnType, TableSchema
 from repro.db.sql.executor import QueryResult, SelectStream
@@ -48,7 +48,6 @@ __all__ = [
     "Column",
     "ColumnType",
     "Connection",
-    "CrowdDatabase",
     "CrowdFillSpec",
     "Cursor",
     "DurabilityManager",

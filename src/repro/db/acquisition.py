@@ -45,7 +45,13 @@ PROVENANCE_PREDICTED = "predicted"
 
 @dataclass(frozen=True)
 class AcquisitionPolicy:
-    """Session knobs steering the hybrid crowd+predict acquisition.
+    """The single typed bundle of all session acquisition knobs.
+
+    Covers the hybrid crowd+predict sampling policy, the session budget,
+    the crowd-batching/runtime knobs and the open-world enumeration knobs.
+    Accepted by ``repro.connect(policy=...)`` and
+    ``Connection.set_policy()``, readable/settable per knob via ``PRAGMA
+    acquisition_<knob>``.
 
     Parameters
     ----------
@@ -70,6 +76,30 @@ class AcquisitionPolicy:
     crowd_cost_per_value:
         Estimated platform cost of one crowd-sourced value, used to cap
         the sample by the session's remaining budget.
+    max_cost:
+        Session budget in dollars (None = unlimited).  Once accumulated
+        acquisition cost reaches it, no further batch is dispatched.
+    crowd_batch_size:
+        Missing rows coalesced into one platform call by ``CrowdFill``.
+    crowd_write_back:
+        Whether acquired values are persisted to storage.
+    max_concurrent_batches:
+        Worker-pool width of the session's
+        :class:`~repro.crowd.runtime.AcquisitionRuntime`.
+    answer_cache_size:
+        Capacity (cells) of the runtime's cross-query answer cache.
+    answer_cache_ttl:
+        Optional time-to-live (seconds) for cached answers (None = no
+        expiry).
+    completeness_target:
+        Default Chao92 coverage target for open-world enumerations that do
+        not carry their own ``WITH COMPLETENESS >= x`` clause (None = run
+        until exhaustion/budget).
+    enum_dry_batches:
+        Consecutive no-new-species batches after which an enumeration is
+        considered exhausted.
+    max_enum_batches:
+        Hard cap on HIT batches per enumeration (backstop).
     """
 
     sample_fraction: float = 0.25
@@ -78,6 +108,15 @@ class AcquisitionPolicy:
     min_confidence: float = 0.0
     cost_ratio: float = 0.05
     crowd_cost_per_value: float = 0.01
+    max_cost: float | None = None
+    crowd_batch_size: int = 50
+    crowd_write_back: bool = True
+    max_concurrent_batches: int = 4
+    answer_cache_size: int = 1024
+    answer_cache_ttl: float | None = None
+    completeness_target: float | None = None
+    enum_dry_batches: int = 3
+    max_enum_batches: int = 256
 
     def __post_init__(self) -> None:
         if not 0.0 < self.sample_fraction <= 1.0:
@@ -92,6 +131,22 @@ class AcquisitionPolicy:
             raise ExecutionError("cost_ratio must be non-negative")
         if self.crowd_cost_per_value <= 0.0:
             raise ExecutionError("crowd_cost_per_value must be positive")
+        if self.max_cost is not None and self.max_cost < 0.0:
+            raise ExecutionError("max_cost must be non-negative")
+        if self.crowd_batch_size <= 0:
+            raise ExecutionError("crowd_batch_size must be positive")
+        if self.max_concurrent_batches <= 0:
+            raise ExecutionError("max_concurrent_batches must be positive")
+        if self.answer_cache_size <= 0:
+            raise ExecutionError("answer_cache_size must be positive")
+        if self.answer_cache_ttl is not None and self.answer_cache_ttl <= 0.0:
+            raise ExecutionError("answer_cache_ttl must be positive")
+        if self.completeness_target is not None and not 0.0 <= self.completeness_target <= 1.0:
+            raise ExecutionError("completeness_target must be in [0, 1]")
+        if self.enum_dry_batches <= 0:
+            raise ExecutionError("enum_dry_batches must be positive")
+        if self.max_enum_batches <= 0:
+            raise ExecutionError("max_enum_batches must be positive")
 
     def with_overrides(self, **changes: Any) -> "AcquisitionPolicy":
         """Return a copy of the policy with the given fields replaced."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import threading
 import weakref
-from typing import TYPE_CHECKING, Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 
 from repro.db.schema import TableSchema
 from repro.db.storage import TableStorage
@@ -50,6 +50,10 @@ class Catalog:
         #: Crowd answers recovered from persisted provenance, used to warm
         #: the AnswerCache of every runtime that registers afterwards.
         self._warm_answers: dict[tuple[str, str, int], Any] = {}
+        #: Open-world enumeration batches: ``(attribute, batch) -> answers``.
+        #: Journaled on durable catalogs so a restarted process replays
+        #: repeat enumerations from the answer cache at zero platform calls.
+        self._enum_answers: dict[tuple[str, int], list[Any]] = {}
 
     # -- acquisition runtime ------------------------------------------------------
 
@@ -211,6 +215,32 @@ class Catalog:
             self.durability = manager
             for storage in self._tables.values():
                 storage.journal = manager.journal_for(storage)
+
+    def record_enum_answers(
+        self, attribute: str, batch: int, values: Sequence[Any]
+    ) -> None:
+        """Store one *dispatched* enumeration batch; journaled when durable.
+
+        The WAL append happens outside the catalog lock — it may fsync
+        under ``synchronous=full`` and must never block other sessions.
+        """
+        with self.lock:
+            self._enum_answers[(attribute, int(batch))] = list(values)
+            durability = self.durability
+        if durability is not None:
+            durability.log_enum_answers(attribute, batch, values)
+
+    def restore_enum_answers(
+        self, attribute: str, batch: int, values: Sequence[Any]
+    ) -> None:
+        """Recovery-path setter: store a replayed batch without journaling."""
+        with self.lock:
+            self._enum_answers[(attribute, int(batch))] = list(values)
+
+    def enum_answers(self) -> dict[tuple[str, int], list[Any]]:
+        """Snapshot of the recorded enumeration batches."""
+        with self.lock:
+            return {key: list(values) for key, values in self._enum_answers.items()}
 
     def rowid_watermarks(self) -> dict[str, int]:
         """Per-table-name rowid high-water marks of *dropped* tables."""

@@ -10,8 +10,8 @@ This module is the public entry point of :mod:`repro.db`:
 >>> cur.execute("SELECT name FROM movies WHERE movie_id = ?", (1,)).fetchone()
 ('Rocky',)
 
-Compared with the legacy :class:`~repro.db.database.CrowdDatabase` facade it
-adds three capabilities the paper's query-driven workload needs at scale:
+Compared with the legacy ``CrowdDatabase`` facade it replaced, it adds
+three capabilities the paper's query-driven workload needs at scale:
 
 * **parameter binding** — qmark-style ``?`` placeholders bound through the
   AST, so values never get interpolated into SQL strings;
@@ -32,6 +32,8 @@ import warnings
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
+
+from dataclasses import fields as dataclass_fields
 
 from repro.db.acquisition import AcquisitionPolicy, AttributePredictor, PredictSpec
 from repro.db.catalog import Catalog
@@ -77,6 +79,58 @@ def _validate_batch_size(batch_size: int) -> int:
 
 #: Distinguishes "knob not passed" from an explicit None (a valid TTL value).
 _UNSET: Any = object()
+
+#: Knob names `PRAGMA acquisition_<knob>` exposes — exactly the fields of
+#: :class:`~repro.db.acquisition.AcquisitionPolicy`.
+_POLICY_FIELDS: tuple[str, ...] = tuple(f.name for f in dataclass_fields(AcquisitionPolicy))
+_POLICY_INT_FIELDS = frozenset(
+    {
+        "min_sample",
+        "max_sample",
+        "crowd_batch_size",
+        "max_concurrent_batches",
+        "answer_cache_size",
+        "enum_dry_batches",
+        "max_enum_batches",
+    }
+)
+_POLICY_BOOL_FIELDS = frozenset({"crowd_write_back"})
+#: Fields whose value may be None; PRAGMA writes accept the word ``none``.
+_POLICY_OPTIONAL_FIELDS = frozenset(
+    {"max_sample", "max_cost", "answer_cache_ttl", "completeness_target"}
+)
+
+
+def _coerce_policy_pragma_value(knob: str, raw: Any) -> Any:
+    """Parse a PRAGMA scalar into the typed value of policy field *knob*."""
+    if isinstance(raw, str):
+        lowered = raw.strip().lower()
+        if knob in _POLICY_OPTIONAL_FIELDS and lowered in ("none", "null", ""):
+            return None
+        if knob in _POLICY_BOOL_FIELDS:
+            if lowered in ("true", "on", "yes", "1"):
+                return True
+            if lowered in ("false", "off", "no", "0"):
+                return False
+            raise ExecutionError(
+                f"PRAGMA acquisition_{knob} expects a boolean, got {raw!r}"
+            )
+        try:
+            raw = float(lowered)
+        except ValueError as exc:
+            raise ExecutionError(
+                f"PRAGMA acquisition_{knob} expects a number, got {raw!r}"
+            ) from exc
+    if knob in _POLICY_BOOL_FIELDS:
+        return bool(raw)
+    if knob in _POLICY_INT_FIELDS:
+        number = float(raw)
+        if number != int(number):
+            raise ExecutionError(
+                f"PRAGMA acquisition_{knob} expects an integer, got {raw!r}"
+            )
+        return int(number)
+    return float(raw)
 
 
 # ---------------------------------------------------------------------------
@@ -126,9 +180,16 @@ class SessionContext:
         the predictor on the crowd answers and fills the remaining rows
         with predictions (provenance- and confidence-tagged in storage).
     acquisition:
-        The :class:`~repro.db.acquisition.AcquisitionPolicy` steering the
-        hybrid plan (sample fraction, min confidence, predict-vs-crowd
-        cost ratio).  Defaults to the policy's defaults.
+        Legacy alias of *policy* (the historical name when the policy only
+        carried the prediction knobs).  Passing both raises ``ValueError``.
+    policy:
+        The unified :class:`~repro.db.acquisition.AcquisitionPolicy` this
+        session starts from: prediction knobs, budget, crowd batching,
+        runtime knobs and enumeration knobs in one typed bundle.  Explicit
+        legacy keyword arguments (``max_cost``, ``crowd_batch_size``, …)
+        override the corresponding policy fields.  All of those legacy
+        attributes remain readable/settable on the session and delegate to
+        the policy.
     runtime:
         Optional session-private
         :class:`~repro.crowd.runtime.AcquisitionRuntime`.  By default the
@@ -162,8 +223,8 @@ class SessionContext:
         ledger: "ExpansionLedger | None" = None,
         max_cost: float | None = None,
         value_source: Any = None,
-        crowd_batch_size: int = 50,
-        crowd_write_back: bool = True,
+        crowd_batch_size: int | None = None,
+        crowd_write_back: bool | None = None,
         predictor: AttributePredictor | None = None,
         acquisition: AcquisitionPolicy | None = None,
         runtime: Any = None,
@@ -171,34 +232,49 @@ class SessionContext:
         answer_cache_size: int | None = None,
         answer_cache_ttl: float | None = _UNSET,
         on_runtime_knobs_ignored: Callable[[], None] | None = None,
+        policy: AcquisitionPolicy | None = None,
     ) -> None:
+        if policy is not None and acquisition is not None:
+            raise ValueError("pass either policy= or its legacy alias acquisition=, not both")
+        base = policy if policy is not None else acquisition
+        if base is None:
+            base = AcquisitionPolicy()
+        defaults = AcquisitionPolicy()
         #: Whether the caller expressed runtime knobs at all — a session
         #: that kept the defaults must not be warned when the catalog's
-        #: shared runtime happens to be configured differently.
+        #: shared runtime happens to be configured differently.  A policy
+        #: carrying non-default runtime knobs counts as explicit.
         self.runtime_knobs_explicit = (
             max_concurrent_batches is not None
             or answer_cache_size is not None
             or answer_cache_ttl is not _UNSET
+            or base.max_concurrent_batches != defaults.max_concurrent_batches
+            or base.answer_cache_size != defaults.answer_cache_size
+            or base.answer_cache_ttl != defaults.answer_cache_ttl
         )
-        max_concurrent_batches = 4 if max_concurrent_batches is None else max_concurrent_batches
-        answer_cache_size = 1024 if answer_cache_size is None else answer_cache_size
-        answer_cache_ttl = None if answer_cache_ttl is _UNSET else answer_cache_ttl
-        if max_concurrent_batches < 1:
+        if max_concurrent_batches is not None and max_concurrent_batches < 1:
             raise ValueError("max_concurrent_batches must be >= 1")
+        overrides: dict[str, Any] = {}
+        if max_cost is not None:
+            overrides["max_cost"] = max_cost
+        if crowd_batch_size is not None:
+            overrides["crowd_batch_size"] = _validate_batch_size(crowd_batch_size)
+        if crowd_write_back is not None:
+            overrides["crowd_write_back"] = crowd_write_back
+        if max_concurrent_batches is not None:
+            overrides["max_concurrent_batches"] = max_concurrent_batches
+        if answer_cache_size is not None:
+            overrides["answer_cache_size"] = answer_cache_size
+        if answer_cache_ttl is not _UNSET:
+            overrides["answer_cache_ttl"] = answer_cache_ttl
+        self._policy = base.with_overrides(**overrides) if overrides else base
         self.missing_resolver = missing_resolver
         self.expansion_handler = expansion_handler
         self._ledger = ledger
-        self.max_cost = max_cost
         self.cost_spent = 0.0
         self.value_source = value_source
-        self.crowd_batch_size = _validate_batch_size(crowd_batch_size)
-        self.crowd_write_back = crowd_write_back
         self.predictor = predictor
-        self.acquisition = acquisition if acquisition is not None else AcquisitionPolicy()
         self.runtime = runtime
-        self.max_concurrent_batches = max_concurrent_batches
-        self.answer_cache_size = answer_cache_size
-        self.answer_cache_ttl = answer_cache_ttl
         self.on_runtime_knobs_ignored = on_runtime_knobs_ignored
 
     def crowd_spec(self, runtime: Any = None) -> CrowdFillSpec | None:
@@ -260,6 +336,125 @@ class SessionContext:
     def record_cost(self, cost: float) -> None:
         """Account *cost* dollars of crowd spending against this session."""
         self.cost_spent += float(cost)
+
+    # -- unified acquisition policy -----------------------------------------
+    #
+    # All acquisition knobs live on one AcquisitionPolicy; the attributes
+    # below are the legacy per-knob views, kept so existing call sites (and
+    # the PRAGMA surface) read and write the same underlying state.
+
+    @property
+    def policy(self) -> AcquisitionPolicy:
+        """The session's unified :class:`~repro.db.acquisition.AcquisitionPolicy`."""
+        return self._policy
+
+    @policy.setter
+    def policy(self, value: AcquisitionPolicy | None) -> None:
+        self._policy = value if value is not None else AcquisitionPolicy()
+
+    @property
+    def acquisition(self) -> AcquisitionPolicy:
+        """Legacy alias of :attr:`policy`."""
+        return self._policy
+
+    @acquisition.setter
+    def acquisition(self, value: AcquisitionPolicy | None) -> None:
+        # Historically `acquisition` carried only the prediction-side knobs,
+        # so assigning one merges exactly those fields: it must not clobber
+        # the budget or runtime knobs now unified into the policy.
+        if value is None:
+            value = AcquisitionPolicy()
+        self._policy = self._policy.with_overrides(
+            sample_fraction=value.sample_fraction,
+            min_sample=value.min_sample,
+            max_sample=value.max_sample,
+            min_confidence=value.min_confidence,
+            cost_ratio=value.cost_ratio,
+            crowd_cost_per_value=value.crowd_cost_per_value,
+        )
+
+    @property
+    def max_cost(self) -> float | None:
+        """Session budget in dollars (None = unlimited)."""
+        return self._policy.max_cost
+
+    @max_cost.setter
+    def max_cost(self, value: float | None) -> None:
+        self._policy = self._policy.with_overrides(max_cost=value)
+
+    @property
+    def crowd_batch_size(self) -> int:
+        """Rows coalesced into one crowd batch dispatch."""
+        return self._policy.crowd_batch_size
+
+    @crowd_batch_size.setter
+    def crowd_batch_size(self, value: int) -> None:
+        self._policy = self._policy.with_overrides(crowd_batch_size=_validate_batch_size(value))
+
+    @property
+    def crowd_write_back(self) -> bool:
+        """Whether batch-obtained values are persisted to storage."""
+        return self._policy.crowd_write_back
+
+    @crowd_write_back.setter
+    def crowd_write_back(self, value: bool) -> None:
+        self._policy = self._policy.with_overrides(crowd_write_back=bool(value))
+
+    @property
+    def max_concurrent_batches(self) -> int:
+        """Worker-pool bound of the lazily created acquisition runtime."""
+        return self._policy.max_concurrent_batches
+
+    @max_concurrent_batches.setter
+    def max_concurrent_batches(self, value: int) -> None:
+        if value < 1:
+            raise ValueError("max_concurrent_batches must be >= 1")
+        self._policy = self._policy.with_overrides(max_concurrent_batches=value)
+
+    @property
+    def answer_cache_size(self) -> int:
+        """Capacity of the runtime's cross-query answer cache."""
+        return self._policy.answer_cache_size
+
+    @answer_cache_size.setter
+    def answer_cache_size(self, value: int) -> None:
+        self._policy = self._policy.with_overrides(answer_cache_size=value)
+
+    @property
+    def answer_cache_ttl(self) -> float | None:
+        """Expiry (seconds; None = never) of cached crowd answers."""
+        return self._policy.answer_cache_ttl
+
+    @answer_cache_ttl.setter
+    def answer_cache_ttl(self, value: float | None) -> None:
+        self._policy = self._policy.with_overrides(answer_cache_ttl=value)
+
+    @property
+    def completeness_target(self) -> float | None:
+        """Default ``WITH COMPLETENESS >=`` target for FROM CROWD queries."""
+        return self._policy.completeness_target
+
+    @completeness_target.setter
+    def completeness_target(self, value: float | None) -> None:
+        self._policy = self._policy.with_overrides(completeness_target=value)
+
+    @property
+    def enum_dry_batches(self) -> int:
+        """Consecutive no-new-entity batches before an enumeration stops."""
+        return self._policy.enum_dry_batches
+
+    @enum_dry_batches.setter
+    def enum_dry_batches(self, value: int) -> None:
+        self._policy = self._policy.with_overrides(enum_dry_batches=value)
+
+    @property
+    def max_enum_batches(self) -> int:
+        """Hard cap on platform batches one enumeration may pull."""
+        return self._policy.max_enum_batches
+
+    @max_enum_batches.setter
+    def max_enum_batches(self, value: int) -> None:
+        self._policy = self._policy.with_overrides(max_enum_batches=value)
 
     def __repr__(self) -> str:
         budget = "unlimited" if self.max_cost is None else f"${self.max_cost:.2f}"
@@ -695,6 +890,28 @@ class Connection:
         """Install the session's handler for unknown-column expansion."""
         self.session.expansion_handler = handler
 
+    @property
+    def policy(self) -> AcquisitionPolicy:
+        """The session's unified :class:`~repro.db.acquisition.AcquisitionPolicy`."""
+        return self.session.policy
+
+    def set_policy(self, policy: AcquisitionPolicy | None) -> None:
+        """Install the session's unified acquisition policy (None = defaults).
+
+        This is the single configuration path for every acquisition knob:
+        prediction sampling, the session budget, crowd batching, the
+        runtime cache knobs and the open-world enumeration targets.
+        Individual knobs are also readable/settable as ``PRAGMA
+        acquisition_<knob>`` and listable via ``PRAGMA acquisition_policy``;
+        see ``docs/api.md`` for the migration table from the legacy
+        per-knob setters.
+        """
+        if policy is not None and not isinstance(policy, AcquisitionPolicy):
+            raise TypeError(
+                f"set_policy expects an AcquisitionPolicy, got {type(policy).__name__}"
+            )
+        self.session.policy = policy
+
     def set_value_source(
         self, source: Any, *, batch_size: int | None = None
     ) -> None:
@@ -703,9 +920,21 @@ class Connection:
         Queries referencing crowd-sourced (perceptual) columns then carry a
         ``CrowdFill(batch_size=…)`` operator in their physical plan that
         dispatches MISSING values to *source* one batch per attribute.
+
+        .. deprecated::
+            The ``batch_size`` keyword; set
+            ``AcquisitionPolicy.crowd_batch_size`` through
+            :meth:`set_policy` or ``PRAGMA acquisition_crowd_batch_size``.
         """
         self.session.value_source = source
         if batch_size is not None:
+            warnings.warn(
+                "set_value_source(batch_size=...) is deprecated; configure "
+                "AcquisitionPolicy.crowd_batch_size via Connection.set_policy() "
+                "or PRAGMA acquisition_crowd_batch_size (see docs/api.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             self.session.crowd_batch_size = _validate_batch_size(batch_size)
 
     def set_predictor(
@@ -722,13 +951,14 @@ class Connection:
         Together with a batch value source this turns crowd acquisition
         hybrid: ``CrowdFill`` asks the crowd for a planner-chosen sample,
         ``PredictFill`` predicts the rest from perceptual-space features.
-        The keyword knobs override single fields of the session's
-        :class:`~repro.db.acquisition.AcquisitionPolicy` (*policy*
-        replaces it wholesale).
+
+        .. deprecated::
+            The per-knob keywords (``policy``, ``sample_fraction``,
+            ``min_confidence``, ``cost_ratio``); configure the session's
+            :class:`~repro.db.acquisition.AcquisitionPolicy` through
+            :meth:`set_policy` or ``PRAGMA acquisition_<knob>``.
         """
         self.session.predictor = predictor
-        if policy is not None:
-            self.session.acquisition = policy
         overrides = {
             name: value
             for name, value in (
@@ -738,8 +968,19 @@ class Connection:
             )
             if value is not None
         }
+        if policy is not None or overrides:
+            warnings.warn(
+                "set_predictor's policy/sample_fraction/min_confidence/"
+                "cost_ratio keywords are deprecated; configure the "
+                "AcquisitionPolicy via Connection.set_policy() or PRAGMA "
+                "acquisition_<knob> (see docs/api.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if policy is not None:
+            self.session.acquisition = policy
         if overrides:
-            self.session.acquisition = self.session.acquisition.with_overrides(**overrides)
+            self.session.policy = self.session.policy.with_overrides(**overrides)
 
     def set_acquisition_runtime(self, runtime: Any) -> None:
         """Install a session-private acquisition runtime (None = shared).
@@ -960,6 +1201,9 @@ class Connection:
             if params
             else prepared.statement
         )
+        pragma_result = self._maybe_acquisition_pragma(statement)
+        if pragma_result is not None:
+            return pragma_result
         return self._executor.execute(
             statement,
             missing_resolver=self.session.missing_resolver,
@@ -968,6 +1212,42 @@ class Connection:
             explain=explain,
             lock=self.catalog.lock,
         )
+
+    def _maybe_acquisition_pragma(self, statement: ast.Statement) -> QueryResult | None:
+        """Handle ``PRAGMA acquisition_*`` at the connection layer.
+
+        Acquisition knobs are per-session state, unlike the durability and
+        engine pragmas the executor owns, so they are intercepted here
+        before the statement reaches the (catalog-scoped) executor.
+        ``PRAGMA acquisition_policy`` lists every knob; ``PRAGMA
+        acquisition_<knob>`` reads one, ``PRAGMA acquisition_<knob> =
+        value`` writes it (``none`` clears an optional knob).
+        """
+        if not isinstance(statement, ast.PragmaStatement):
+            return None
+        name = statement.name
+        if name == "acquisition_policy":
+            if statement.value is not None:
+                raise ExecutionError(
+                    "PRAGMA acquisition_policy is read-only; write individual "
+                    "knobs via PRAGMA acquisition_<knob> or Connection.set_policy()"
+                )
+            policy = self.session.policy
+            rows = [(knob, getattr(policy, knob)) for knob in _POLICY_FIELDS]
+            return QueryResult(columns=["knob", "value"], rows=rows, rowcount=0)
+        if not name.startswith("acquisition_"):
+            return None
+        knob = name[len("acquisition_") :]
+        if knob not in _POLICY_FIELDS:
+            raise ExecutionError(f"unknown PRAGMA: {name}")
+        if statement.value is None:
+            value = getattr(self.session.policy, knob)
+            return QueryResult(columns=[name], rows=[(value,)], rowcount=0)
+        value = _coerce_policy_pragma_value(knob, statement.value)
+        # with_overrides revalidates through AcquisitionPolicy.__post_init__,
+        # so an out-of-range PRAGMA write fails without touching the session.
+        self.session.policy = self.session.policy.with_overrides(**{knob: value})
+        return QueryResult(columns=[], rows=[], rowcount=0)
 
     def _execute_parsed(self, statement: ast.Statement, params: tuple[Any, ...]) -> QueryResult:
         """Execute an already-parsed statement (script path; no caching).
@@ -979,6 +1259,9 @@ class Connection:
         check_arity(count_parameters(statement), params)
         if params:
             statement = bind_statement(statement, params, verify_arity=False)
+        pragma_result = self._maybe_acquisition_pragma(statement)
+        if pragma_result is not None:
+            return pragma_result
         result = self._execute_with_expansion(
             lambda: self._executor.execute(
                 statement,
@@ -1150,6 +1433,7 @@ def connect(
     synchronous: str | None = None,
     checkpoint_interval: int | None = _UNSET,
     session: SessionContext | None = None,
+    policy: AcquisitionPolicy | None = None,
     statement_cache_size: int = 128,
     statement_log_size: int | None = 1000,
     hash_joins: bool = True,
@@ -1163,7 +1447,11 @@ def connect(
 
     Pass an existing :class:`~repro.db.catalog.Catalog` to share one set of
     tables between several connections, each with its own
-    :class:`SessionContext` (resolver, expansion policy, budget).
+    :class:`SessionContext` (resolver, expansion policy, budget).  A
+    *policy* — the unified
+    :class:`~repro.db.acquisition.AcquisitionPolicy` — seeds the session's
+    acquisition knobs (budget, batching, prediction, enumeration); when a
+    *session* is passed too, the policy is installed on it.
 
     With ``path`` the database lives in a directory on disk and survives
     restarts: opening replays the last snapshot plus the write-ahead-log
@@ -1177,6 +1465,11 @@ def connect(
     see ``docs/persistence.md`` for the file format and crash-safety
     guarantees.
     """
+    if policy is not None:
+        if session is None:
+            session = SessionContext(policy=policy)
+        else:
+            session.policy = policy
     owns_durability = False
     if path is None:
         if synchronous is not None or checkpoint_interval is not _UNSET:

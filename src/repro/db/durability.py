@@ -32,8 +32,9 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Any
+from typing import Any, Sequence
 
+from repro.crowd.estimation import ENUMERATION_TABLE
 from repro.db.catalog import Catalog
 from repro.db.schema import Column
 from repro.db.snapshot import (
@@ -262,6 +263,13 @@ class DurabilityManager:
         if op == "drop_table":
             self.catalog.drop_table(record["table"], if_exists=True)
             return
+        if op == "enum_answers":
+            self.catalog.restore_enum_answers(
+                record["attribute"],
+                int(record["batch"]),
+                [decode_value(value) for value in record["values"]],
+            )
+            return
         storage = self.catalog.table(record["table"])
         if op == "insert":
             storage.restore_row(int(record["rowid"]), decode_row(record["row"]))
@@ -304,6 +312,11 @@ class DurabilityManager:
                         continue
                     if value is not None and not is_missing(value):
                         warm[(table, column, rowid)] = value
+        # Recovered open-world enumeration batches warm-start under the
+        # synthetic enumeration table: a restarted process replays repeat
+        # enumerations from the answer cache at zero platform calls.
+        for (attribute, batch), values in self.catalog.enum_answers().items():
+            warm[(ENUMERATION_TABLE, attribute, batch)] = list(values)
         return warm
 
     # -- journaling -----------------------------------------------------------
@@ -343,6 +356,19 @@ class DurabilityManager:
 
     def log_drop_table(self, table: str) -> None:
         self.append("drop_table", {"table": table})
+
+    def log_enum_answers(
+        self, attribute: str, batch: int, values: Sequence[Any]
+    ) -> None:
+        """Journal one dispatched open-world enumeration batch."""
+        self.append(
+            "enum_answers",
+            {
+                "attribute": attribute,
+                "batch": int(batch),
+                "values": [encode_value(value) for value in values],
+            },
+        )
 
     # -- checkpointing --------------------------------------------------------
 

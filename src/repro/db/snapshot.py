@@ -148,6 +148,12 @@ def catalog_state(catalog: "Catalog", *, last_lsn: int) -> dict[str, Any]:
         "last_lsn": int(last_lsn),
         "tables": [table_state(storage) for storage in catalog],
         "rowid_watermarks": dict(catalog.rowid_watermarks()),
+        # Dispatched open-world enumeration batches (checkpointing truncates
+        # the WAL, so they must ride the snapshot to stay recoverable).
+        "enum_answers": [
+            [attribute, batch, [encode_value(value) for value in values]]
+            for (attribute, batch), values in sorted(catalog.enum_answers().items())
+        ],
     }
 
 
@@ -157,6 +163,10 @@ def restore_catalog(catalog: "Catalog", state: dict[str, Any]) -> None:
         restore_table(catalog, table)
     for name, watermark in state.get("rowid_watermarks", {}).items():
         catalog.record_rowid_watermark(name, int(watermark))
+    for attribute, batch, values in state.get("enum_answers", []):
+        catalog.restore_enum_answers(
+            attribute, int(batch), [decode_value(value) for value in values]
+        )
 
 
 # ---------------------------------------------------------------------------

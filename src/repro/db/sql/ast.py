@@ -217,6 +217,21 @@ class OrderItem:
     ascending: bool = True
 
 
+@dataclass(frozen=True)
+class CrowdRelation:
+    """The open-world ``FROM CROWD`` relation of a SELECT or INSERT.
+
+    *predicate* is the natural-language description posted to workers
+    ("ice cream flavors"); *completeness* and *budget* are the optional
+    ``WITH COMPLETENESS >= x`` / ``WITH BUDGET <= y`` stopping constraints.
+    The relation exposes exactly one column, ``value``.
+    """
+
+    predicate: str
+    completeness: Optional[float] = None
+    budget: Optional[float] = None
+
+
 # ---------------------------------------------------------------------------
 # Statements
 # ---------------------------------------------------------------------------
@@ -240,6 +255,10 @@ class SelectStatement(Statement):
     limit: Optional[int] = None
     offset: Optional[int] = None
     distinct: bool = False
+    #: Set for ``SELECT ... FROM CROWD '<predicate>'`` open-world queries;
+    #: ``from_table`` is None in that case and the planner routes to the
+    #: CrowdEnumerate pipeline.
+    from_crowd: Optional[CrowdRelation] = None
 
 
 @dataclass(frozen=True)
@@ -305,6 +324,21 @@ class InsertStatement(Statement):
 
 
 @dataclass(frozen=True)
+class InsertFromCrowdStatement(Statement):
+    """INSERT INTO name (column) FROM CROWD [WHERE 'predicate'] [WITH ...].
+
+    Open-world insertion: the crowd *enumerates* values matching the
+    predicate and each new (deduplicated) answer becomes a row.  Exactly
+    one target column receives the enumerated values; the table's integer
+    primary key is auto-assigned.
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    crowd: CrowdRelation
+
+
+@dataclass(frozen=True)
 class UpdateStatement(Statement):
     """UPDATE name SET col = expr [, ...] [WHERE expr]."""
 
@@ -341,6 +375,7 @@ AnyStatement = Union[
     DropTableStatement,
     AlterTableAddColumn,
     InsertStatement,
+    InsertFromCrowdStatement,
     UpdateStatement,
     DeleteStatement,
     PragmaStatement,

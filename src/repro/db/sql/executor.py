@@ -23,7 +23,8 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, ContextManager, Iterator
 
-from repro.db.acquisition import PredictSpec
+from repro.crowd.estimation import normalize_entity
+from repro.db.acquisition import PROVENANCE_CROWD, PredictSpec
 from repro.db.catalog import Catalog
 from repro.db.schema import AttributeKind, Column, TableSchema
 from repro.db.sql import ast
@@ -34,13 +35,15 @@ from repro.db.sql.expressions import (
     evaluate_predicate,
 )
 from repro.db.sql.operators import (
+    CrowdEnumerate,
     CrowdFillSpec,
     Operator,
     _ComparableValue,  # noqa: F401  (re-exported for backwards compatibility)
+    build_enumerate_spec,
     describe_operator_tree,
 )
 from repro.db.sql.planner import Planner, SelectPlan
-from repro.db.types import MISSING, ColumnType
+from repro.db.types import MISSING, ColumnType, is_missing
 from repro.errors import ExecutionError, PlanningError
 
 # ---------------------------------------------------------------------------
@@ -60,6 +63,11 @@ class QueryResult:
     rows: list[tuple[Any, ...]]
     rowcount: int = 0
     plan_description: str | None = None
+    #: Open-world enumeration statistics (``INSERT ... FROM CROWD`` only):
+    #: the JSON-safe dict of
+    #: :class:`~repro.crowd.estimation.EnumerationStats` — rows enumerated,
+    #: unique species seen, Chao92 estimates and the stopping reason.
+    enumeration: dict[str, Any] | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -262,6 +270,10 @@ class Executor:
                 rows=[(line,) for line in description.splitlines()],
                 rowcount=0,
                 plan_description=description,
+            )
+        if isinstance(statement, ast.InsertFromCrowdStatement):
+            return self._execute_insert_from_crowd(
+                statement, crowd=crowd, explain=explain, lock=lock
             )
         with guard:
             if isinstance(statement, ast.PragmaStatement):
@@ -472,6 +484,106 @@ class Executor:
             table.insert(values)
             inserted += 1
         return QueryResult(columns=[], rows=[], rowcount=inserted)
+
+    def _execute_insert_from_crowd(
+        self,
+        statement: ast.InsertFromCrowdStatement,
+        *,
+        crowd: CrowdFillSpec | None,
+        explain: bool = False,
+        lock: ContextManager[Any] | None = None,
+    ) -> QueryResult:
+        """Open-world insertion: enumerate crowd answers into new rows.
+
+        Validation and the existing-row dedup snapshot run under the
+        catalog lock; the enumeration itself (where the crowd spends real
+        time) runs outside it; the write-back re-takes the lock and
+        re-checks dedup, so answers that raced a concurrent insert are
+        dropped instead of duplicated.  Each inserted row is written as an
+        insert of the auto-assigned key plus one batched
+        :meth:`~repro.db.storage.TableStorage.fill_values` of the target
+        column with ``crowd`` provenance — the same WAL shape as
+        closed-world fills, so enumerations replay after a crash and
+        warm-start the answer cache.
+        """
+        if crowd is None:
+            raise ExecutionError(
+                "INSERT ... FROM CROWD requires a crowd value source "
+                "(set one via Connection.set_value_source or an AcquisitionPolicy)"
+            )
+        if len(statement.columns) != 1:
+            raise ExecutionError(
+                "INSERT ... FROM CROWD requires exactly one target column, "
+                f"got {len(statement.columns)}"
+            )
+        guard = lock if lock is not None else nullcontext()
+        with guard:
+            table = self._catalog.table(statement.table)
+            schema = table.schema
+            column = schema.column(statement.columns[0])
+            pk = schema.primary_key
+            if pk is not None and pk == column.name:
+                raise ExecutionError(
+                    "INSERT ... FROM CROWD cannot target the primary key "
+                    f"{pk!r} of table {schema.name!r}"
+                )
+            existing = {
+                normalize_entity(row[column.name])
+                for _rowid, row in table.scan()
+                if not is_missing(row.get(column.name)) and row.get(column.name) is not None
+            }
+
+        operator = CrowdEnumerate(
+            build_enumerate_spec(
+                statement.crowd,
+                crowd,
+                existing_keys=frozenset(existing),
+                record_answers=self._catalog.record_enum_answers,
+            )
+        )
+        operator.open()
+        try:
+            enumerated = [row["value"] for _ordinal, row in operator]
+        finally:
+            operator.close()
+
+        inserted = 0
+        with guard:
+            table = self._catalog.table(statement.table)
+            current: set[str] = set()
+            max_pk = 0
+            for _rowid, row in table.scan():
+                value = row.get(column.name)
+                if value is not None and not is_missing(value):
+                    current.add(normalize_entity(value))
+                if pk is not None:
+                    pk_value = row.get(pk)
+                    if isinstance(pk_value, (int, float)) and not isinstance(pk_value, bool):
+                        max_pk = max(max_pk, int(pk_value))
+            fills: dict[int, Any] = {}
+            for value in enumerated:
+                key = normalize_entity(value)
+                if key in current:
+                    continue  # a concurrent insert won the race
+                current.add(key)
+                values: dict[str, Any] = {column.name: MISSING}
+                if pk is not None:
+                    max_pk += 1
+                    values[pk] = max_pk
+                fills[table.insert(values)] = value
+                inserted += 1
+            if fills:
+                table.fill_values(column.name, fills, provenance=PROVENANCE_CROWD)
+
+        result = QueryResult(columns=[], rows=[], rowcount=inserted)
+        result.enumeration = operator.stats_snapshot().as_dict()
+        if explain:
+            description = describe_operator_tree(operator, include_stats=True)
+            description += (
+                f"\nInsert {schema.name}.{column.name}  [rows={inserted}]"
+            )
+            result.plan_description = description
+        return result
 
     def _execute_update(self, statement: ast.UpdateStatement) -> QueryResult:
         table = self._catalog.table(statement.table)

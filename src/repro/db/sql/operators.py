@@ -57,8 +57,24 @@ import math
 from contextlib import nullcontext
 from dataclasses import dataclass
 from time import perf_counter
-from typing import TYPE_CHECKING, Any, ContextManager, Iterator, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    ContextManager,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
+from repro.crowd.estimation import (
+    ENUMERATION_TABLE,
+    Chao92Estimator,
+    EnumerationStats,
+    enumeration_attribute,
+    normalize_entity,
+)
 from repro.db.acquisition import (
     PROVENANCE_CROWD,
     PROVENANCE_PREDICTED,
@@ -836,6 +852,263 @@ class SingleRow(Operator):
         return "(no table)"
 
 
+@dataclass
+class CrowdEnumerateSpec:
+    """How an open-world ``FROM CROWD`` relation enumerates its rows.
+
+    Parameters
+    ----------
+    source:
+        Batch :class:`~repro.db.crowd_operators.ValueSource`; each HIT
+        batch is one ``request_values`` call whose single "row" is the
+        batch index and whose answer is a *list* of worker answers.
+    predicate:
+        Natural-language description posted to workers.
+    completeness:
+        Optional target in [0, 1]: stop once the Chao92 estimated coverage
+        reaches it (``stopped_on == "completeness"``).
+    budget:
+        Optional statement-level spend cap.  Enumeration never dispatches a
+        batch it cannot pay for: when the source exposes its per-batch cost
+        (``payment_per_hit``) the check is exact, otherwise the loop stops
+        as soon as accumulated cost reaches the cap
+        (``stopped_on == "budget"``).  The *session* budget is honoured as
+        well, independently of this cap.
+    session:
+        Optional session-budget hook (duck-typed ``budget_exhausted`` /
+        ``record_cost``), as in :class:`CrowdFillSpec`.
+    runtime:
+        Optional :class:`~repro.crowd.runtime.AcquisitionRuntime` — batch
+        answers are cached and coalesced exactly like closed-world fills.
+    dry_batches:
+        Stop after this many consecutive batches with no new species
+        (``stopped_on == "exhausted"``) — the open-world analogue of
+        scanning a table to its end.
+    max_batches:
+        Hard cap on batches pulled per enumeration, a backstop against
+        pathological sources.
+    existing_keys:
+        Normalized entity keys already present in the target table
+        (``INSERT ... FROM CROWD`` dedup).  They still feed the estimator
+        when workers re-answer them, but are never emitted as rows.
+    record_answers:
+        Optional ``(attribute, batch_index, answers)`` hook invoked for
+        every batch that cost a platform dispatch.  Durable catalogs pass
+        :meth:`~repro.db.catalog.Catalog.record_enum_answers` here so
+        dispatched batches are journaled and warm-start the answer cache
+        after a restart — repeat enumerations then replay at zero spend.
+    """
+
+    source: "ValueSource"
+    predicate: str
+    completeness: Optional[float] = None
+    budget: Optional[float] = None
+    session: Any = None
+    runtime: "AcquisitionRuntime | None" = None
+    dry_batches: int = 3
+    max_batches: int = 256
+    existing_keys: frozenset[str] = frozenset()
+    record_answers: Optional[Callable[[str, int, list[Any]], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.dry_batches <= 0:
+            raise ExecutionError(
+                f"enumeration dry_batches must be positive, got {self.dry_batches}"
+            )
+        if self.max_batches <= 0:
+            raise ExecutionError(
+                f"enumeration max_batches must be positive, got {self.max_batches}"
+            )
+        if self.completeness is not None and not 0.0 <= self.completeness <= 1.0:
+            raise ExecutionError(
+                f"completeness target must be in [0, 1], got {self.completeness}"
+            )
+
+
+class CrowdEnumerate(Operator):
+    """Open-world enumeration source: crowd answers become rows.
+
+    The leaf operator of ``FROM CROWD`` pipelines (SELECT and
+    ``INSERT ... FROM CROWD`` alike).  It pulls HIT batches for the
+    predicate through the shared acquisition runtime, dedupes the streaming
+    answers via entity resolution (:func:`~repro.crowd.estimation.normalize_entity`)
+    and feeds every observation to a streaming
+    :class:`~repro.crowd.estimation.Chao92Estimator`, which drives the
+    stopping rule: stop on reaching the completeness target, on running out
+    of budget, or on ``dry_batches`` consecutive batches with no new
+    species.  Each *new* species is emitted as one ``(ordinal, {"value":
+    answer})`` row in first-seen order, so the operator slots in below
+    :class:`Bind` exactly like a table scan.
+
+    EXPLAIN ANALYZE counters: ``rows_enumerated`` / ``unique_seen`` /
+    ``est_total`` / ``est_coverage`` / ``stopped_on`` plus the usual
+    cache/coalescing/cost counters.
+    """
+
+    label = "CrowdEnumerate"
+
+    def __init__(self, spec: CrowdEnumerateSpec) -> None:
+        super().__init__()
+        self.spec = spec
+        self.estimator = Chao92Estimator()
+        #: Batches pulled (platform dispatches + cache/coalesced replays).
+        self.batches_pulled = 0
+        #: Actual platform dispatches (what the crowd was paid for).
+        self.batches_dispatched = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.cost_spent = 0.0
+        self.rows_enumerated = 0
+        #: Why the enumeration loop ended: "completeness", "budget" or
+        #: "exhausted" (None while running or when the consumer stopped
+        #: pulling first, e.g. a LIMIT above).
+        self.stopped_on: Optional[str] = None
+
+    # -- enumeration loop ----------------------------------------------------
+
+    def _produce(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        spec = self.spec
+        attribute = enumeration_attribute(spec.predicate)
+        emitted: set[str] = set()
+        dry = 0
+        ordinal = 0
+        batch_index = 0
+        while True:
+            if not self._within_budget():
+                self.stopped_on = "budget"
+                return
+            if self.batches_pulled >= spec.max_batches:
+                self.stopped_on = "exhausted"
+                return
+            answers = self._pull_batch(attribute, batch_index)
+            batch_index += 1
+            self.batches_pulled += 1
+            new_in_batch = 0
+            for answer in answers:
+                key = normalize_entity(answer)
+                if not key:
+                    continue
+                if self.estimator.observe(key):
+                    new_in_batch += 1
+                if key in spec.existing_keys or key in emitted:
+                    continue
+                emitted.add(key)
+                ordinal += 1
+                self.rows_enumerated += 1
+                yield ordinal, {"value": answer}
+            dry = dry + 1 if new_in_batch == 0 else 0
+            if (
+                spec.completeness is not None
+                and self.batches_pulled >= 2
+                and self.estimator.unique_seen > 0
+                and self.estimator.est_coverage() >= spec.completeness
+            ):
+                self.stopped_on = "completeness"
+                return
+            if dry >= spec.dry_batches:
+                self.stopped_on = "exhausted"
+                return
+
+    def _within_budget(self) -> bool:
+        session = self.spec.session
+        if session is not None and getattr(session, "budget_exhausted", False):
+            return False
+        budget = self.spec.budget
+        if budget is None:
+            return True
+        if self.cost_spent >= budget:
+            return False
+        per_batch = getattr(self.spec.source, "payment_per_hit", None)
+        if per_batch is not None and self.cost_spent + per_batch > budget + 1e-9:
+            return False
+        return True
+
+    def _pull_batch(self, attribute: str, batch_index: int) -> list[Any]:
+        """Fetch one HIT batch of answers (through the runtime when present)."""
+        spec = self.spec
+        items = [(batch_index, {})]
+        if spec.runtime is not None:
+            outcome = spec.runtime.acquire(
+                spec.source,
+                ENUMERATION_TABLE,
+                [(attribute, items)],
+                session=spec.session,
+            )
+            self.batches_dispatched += outcome.dispatches
+            self.cache_hits += outcome.cache_hits
+            self.coalesced += outcome.coalesced
+            self.cost_spent += outcome.cost
+            dispatched = outcome.dispatches > 0
+            answers = outcome.values.get(attribute, {}).get(batch_index)
+        else:
+            cost_before = getattr(spec.source, "total_cost", None)
+            values = spec.source.request_values(attribute, items)
+            self.batches_dispatched += 1
+            dispatched = True
+            if cost_before is not None:
+                cost = spec.source.total_cost - cost_before
+                self.cost_spent += cost
+                if spec.session is not None:
+                    spec.session.record_cost(cost)
+            answers = values.get(batch_index)
+        if answers is None or is_missing(answers):
+            batch: list[Any] = []
+        elif isinstance(answers, (list, tuple)):
+            batch = list(answers)
+        else:
+            batch = [answers]
+        # Journal even empty dispatched batches: replay must reproduce the
+        # dry-streak exhaustion without paying for the batches again.
+        if dispatched and spec.record_answers is not None:
+            spec.record_answers(attribute, batch_index, batch)
+        return batch
+
+    # -- introspection -------------------------------------------------------
+
+    def stats_snapshot(self) -> EnumerationStats:
+        """The enumeration counters as one reusable stats object."""
+        return EnumerationStats(
+            predicate=self.spec.predicate,
+            rows_enumerated=self.rows_enumerated,
+            unique_seen=self.estimator.unique_seen,
+            est_total=self.estimator.est_total(),
+            est_coverage=self.estimator.est_coverage(),
+            stopped_on=self.stopped_on,
+            batches=self.batches_pulled,
+            sample_size=self.estimator.sample_size,
+            cache_hits=self.cache_hits,
+            coalesced=self.coalesced,
+            cost=self.cost_spent,
+            completeness_target=self.spec.completeness,
+            budget=self.spec.budget,
+        )
+
+    def detail(self) -> str:
+        return repr(self.spec.predicate)
+
+    def render_line(self) -> str:
+        options = []
+        if self.spec.completeness is not None:
+            options.append(f"completeness>={self.spec.completeness:g}")
+        if self.spec.budget is not None:
+            options.append(f"budget<={self.spec.budget:g}")
+        prefix = f"CrowdEnumerate({', '.join(options)})" if options else "CrowdEnumerate"
+        return f"{prefix} {self.detail()}"
+
+    def extra_stats(self) -> list[str]:
+        return [
+            f"batches={self.batches_pulled}",
+            f"rows_enumerated={self.rows_enumerated}",
+            f"unique_seen={self.estimator.unique_seen}",
+            f"est_total={self.estimator.est_total():.1f}",
+            f"est_coverage={self.estimator.est_coverage():.3f}",
+            f"stopped_on={self.stopped_on}",
+            f"cache_hits={self.cache_hits}",
+            f"coalesced={self.coalesced}",
+            f"cost={self.cost_spent:.4f}",
+        ]
+
+
 # ---------------------------------------------------------------------------
 # Joins (left child yields contexts, right child yields (rowid, row) pairs)
 # ---------------------------------------------------------------------------
@@ -1424,6 +1697,39 @@ def _equi_join_keys(
     return None
 
 
+def build_enumerate_spec(
+    relation: ast.CrowdRelation,
+    crowd: CrowdFillSpec,
+    *,
+    existing_keys: frozenset[str] = frozenset(),
+    record_answers: Optional[Callable[[str, int, list[Any]], None]] = None,
+) -> CrowdEnumerateSpec:
+    """Resolve a parsed CROWD relation + crowd spec into an enumerate spec.
+
+    Statement-level constraints win; the session's acquisition policy
+    supplies the completeness target fallback and the dry-batch/backstop
+    knobs (bare sessions fall back to the defaults).
+    """
+    session = crowd.session
+    completeness = relation.completeness
+    if completeness is None and session is not None:
+        completeness = getattr(session, "completeness_target", None)
+    dry_batches = getattr(session, "enum_dry_batches", None) or 3
+    max_batches = getattr(session, "max_enum_batches", None) or 256
+    return CrowdEnumerateSpec(
+        source=crowd.source,
+        predicate=relation.predicate,
+        completeness=completeness,
+        budget=relation.budget,
+        session=session,
+        runtime=crowd.runtime,
+        dry_batches=dry_batches,
+        max_batches=max_batches,
+        existing_keys=existing_keys,
+        record_answers=record_answers,
+    )
+
+
 def lower_select_plan(
     plan: SelectPlan,
     catalog: Catalog,
@@ -1444,7 +1750,21 @@ def lower_select_plan(
     two-stage hybrid plan ``scan -> CrowdFill(sample) -> PredictFill``.
     """
     root: Operator
-    if plan.scan is None:
+    if plan.from_crowd is not None:
+        if crowd is None:
+            raise ExecutionError(
+                "FROM CROWD requires a crowd value source "
+                "(set one via Connection.set_value_source or an AcquisitionPolicy)"
+            )
+        root = Bind(
+            CrowdEnumerate(
+                build_enumerate_spec(
+                    plan.from_crowd, crowd, record_answers=catalog.record_enum_answers
+                )
+            ),
+            "crowd",
+        )
+    elif plan.scan is None:
         root = SingleRow()
     else:
         source = _lower_scan(plan, plan.scan, catalog, crowd, predict, lock)

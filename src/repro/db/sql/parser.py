@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.db.sql import ast
 from repro.db.sql.tokenizer import Token, TokenType, tokenize
@@ -79,6 +79,22 @@ class _Parser:
             raise SQLSyntaxError(f"expected integer, found {token.value!r}", token.position)
         self._advance()
         return int(token.value)
+
+    def _expect_number(self) -> float:
+        token = self._peek()
+        if token.type is not TokenType.NUMBER:
+            raise SQLSyntaxError(f"expected number, found {token.value!r}", token.position)
+        self._advance()
+        return float(token.value)
+
+    def _expect_string(self, what: str) -> str:
+        token = self._peek()
+        if token.type is not TokenType.STRING:
+            raise SQLSyntaxError(
+                f"expected {what} string literal, found {token.value!r}", token.position
+            )
+        self._advance()
+        return token.value
 
     def at_end(self) -> bool:
         """True when only the EOF token remains."""
@@ -162,10 +178,22 @@ class _Parser:
             items.append(self._parse_select_item())
 
         from_table: Optional[ast.TableRef] = None
+        from_crowd: Optional[ast.CrowdRelation] = None
         joins: list[ast.Join] = []
         if self._match_keyword("FROM"):
-            from_table = self._parse_table_ref()
-            joins = self._parse_joins()
+            if self._match_keyword("CROWD"):
+                # Open-world relation: SELECT ... FROM CROWD '<predicate>'
+                # [WITH COMPLETENESS >= x [AND] BUDGET <= y].  The relation
+                # exposes a single column named ``value``; the query's own
+                # WHERE/ORDER/LIMIT clauses apply on top as usual.
+                predicate = self._expect_string("crowd predicate")
+                completeness, budget = self._parse_crowd_constraints()
+                from_crowd = ast.CrowdRelation(
+                    predicate=predicate, completeness=completeness, budget=budget
+                )
+            else:
+                from_table = self._parse_table_ref()
+                joins = self._parse_joins()
 
         where = self._parse_expression() if self._match_keyword("WHERE") else None
 
@@ -202,7 +230,44 @@ class _Parser:
             limit=limit,
             offset=offset,
             distinct=distinct,
+            from_crowd=from_crowd,
         )
+
+    def _parse_crowd_constraints(self) -> tuple[Optional[float], Optional[float]]:
+        """Parse ``WITH COMPLETENESS >= x [AND|,] BUDGET <= y`` (any order)."""
+        completeness: Optional[float] = None
+        budget: Optional[float] = None
+        if not self._match_keyword("WITH"):
+            return completeness, budget
+        while True:
+            token = self._peek()
+            if self._match_keyword("COMPLETENESS"):
+                if completeness is not None:
+                    raise SQLSyntaxError("duplicate COMPLETENESS constraint", token.position)
+                self._expect_punct(">=")
+                completeness = self._expect_number()
+                if not 0.0 <= completeness <= 1.0:
+                    raise SQLSyntaxError(
+                        f"COMPLETENESS target must be in [0, 1], got {completeness}",
+                        token.position,
+                    )
+            elif self._match_keyword("BUDGET"):
+                if budget is not None:
+                    raise SQLSyntaxError("duplicate BUDGET constraint", token.position)
+                self._expect_punct("<=")
+                budget = self._expect_number()
+                if budget < 0.0:
+                    raise SQLSyntaxError(
+                        f"BUDGET must be non-negative, got {budget}", token.position
+                    )
+            else:
+                raise SQLSyntaxError(
+                    f"expected COMPLETENESS or BUDGET, found {token.value!r}",
+                    token.position,
+                )
+            if not (self._match_keyword("AND") or self._match_punct(",")):
+                break
+        return completeness, budget
 
     def _parse_select_item(self) -> ast.SelectItem:
         token = self._peek()
@@ -363,7 +428,7 @@ class _Parser:
 
     # -- DML ---------------------------------------------------------------------
 
-    def _parse_insert(self) -> ast.InsertStatement:
+    def _parse_insert(self) -> Union[ast.InsertStatement, ast.InsertFromCrowdStatement]:
         self._expect_keyword("INSERT")
         self._expect_keyword("INTO")
         table = self._expect_identifier()
@@ -373,6 +438,25 @@ class _Parser:
             while self._match_punct(","):
                 columns.append(self._expect_identifier())
             self._expect_punct(")")
+        if self._match_keyword("FROM"):
+            # INSERT INTO t (col) FROM CROWD [WHERE '<predicate>'] [WITH ...]
+            # — open-world insertion: the crowd enumerates values matching
+            # the predicate (defaulting to "<table>.<column>") and each new
+            # deduplicated answer becomes a row.
+            self._expect_keyword("CROWD")
+            predicate: Optional[str] = None
+            if self._match_keyword("WHERE"):
+                predicate = self._expect_string("crowd predicate")
+            if predicate is None:
+                predicate = f"{table}.{columns[0]}" if columns else table
+            completeness, budget = self._parse_crowd_constraints()
+            return ast.InsertFromCrowdStatement(
+                table=table,
+                columns=tuple(columns),
+                crowd=ast.CrowdRelation(
+                    predicate=predicate, completeness=completeness, budget=budget
+                ),
+            )
         self._expect_keyword("VALUES")
         rows: list[tuple[ast.Expression, ...]] = []
         while True:

@@ -84,11 +84,22 @@ class SelectPlan:
     #: query actually reads (the CrowdFill operator must never spend crowd
     #: money on a same-named column of a table the query does not touch).
     referenced_refs: tuple[tuple[Optional[str], str], ...] = field(default=())
+    #: Set for ``SELECT ... FROM CROWD`` open-world queries; ``scan`` is
+    #: None and lowering routes to the CrowdEnumerate operator.
+    from_crowd: Optional[ast.CrowdRelation] = None
 
     def describe(self) -> str:
         """Return a short EXPLAIN-style description of the plan."""
         lines = []
-        if self.scan is None:
+        if self.from_crowd is not None:
+            constraints = []
+            if self.from_crowd.completeness is not None:
+                constraints.append(f"completeness>={self.from_crowd.completeness:g}")
+            if self.from_crowd.budget is not None:
+                constraints.append(f"budget<={self.from_crowd.budget:g}")
+            suffix = f" ({', '.join(constraints)})" if constraints else ""
+            lines.append(f"CrowdEnumerate {self.from_crowd.predicate!r}{suffix}")
+        elif self.scan is None:
             lines.append("Result (no table)")
         elif self.scan.uses_index:
             lines.append(
@@ -179,6 +190,8 @@ class Planner:
 
     def plan_select(self, statement: ast.SelectStatement) -> SelectPlan:
         """Validate *statement* against the catalog and produce a plan."""
+        if statement.from_crowd is not None:
+            return self._plan_crowd_select(statement)
         alias_tables = self._collect_sources(statement)
         self._validate_columns(statement, alias_tables)
 
@@ -211,6 +224,97 @@ class Planner:
             referenced_refs=tuple(
                 sorted(referenced, key=lambda ref: (ref[0] or "", ref[1]))
             ),
+        )
+
+    def _plan_crowd_select(self, statement: ast.SelectStatement) -> SelectPlan:
+        """Plan a ``SELECT ... FROM CROWD '<predicate>'`` open-world query.
+
+        The crowd relation exposes exactly one column named ``value``.  Any
+        other reference is a :class:`PlanningError` — deliberately *not*
+        :class:`UnknownColumnError`, so an open-world query never triggers
+        closed-world schema expansion.
+        """
+        expressions: list[ast.Expression] = []
+        for item in statement.items:
+            if not isinstance(item.expression, ast.Star):
+                expressions.append(item.expression)
+        if statement.where is not None:
+            expressions.append(statement.where)
+        expressions.extend(statement.group_by)
+        if statement.having is not None:
+            expressions.append(statement.having)
+        output_aliases = {item.alias for item in statement.items if item.alias}
+        for order_item in statement.order_by:
+            expr = order_item.expression
+            if (
+                isinstance(expr, ast.ColumnRef)
+                and expr.table is None
+                and expr.name in output_aliases
+            ):
+                continue
+            expressions.append(expr)
+        for expression in expressions:
+            for ref in ast.referenced_columns(expression):
+                if ref.name != "value" or (
+                    ref.table is not None and ref.table.lower() != "crowd"
+                ):
+                    raise PlanningError(
+                        "the CROWD relation exposes a single column 'value'; "
+                        f"unknown column {ref.key()!r}"
+                    )
+
+        output: list[OutputColumn] = []
+        used_names: dict[str, int] = {}
+
+        def unique_name(name: str) -> str:
+            if name not in used_names:
+                used_names[name] = 1
+                return name
+            used_names[name] += 1
+            return f"{name}_{used_names[name]}"
+
+        for item in statement.items:
+            expr = item.expression
+            if isinstance(expr, ast.Star):
+                if expr.table is not None and expr.table.lower() != "crowd":
+                    raise PlanningError(
+                        f"unknown table alias {expr.table!r} in '*' projection"
+                    )
+                output.append(
+                    OutputColumn(
+                        expression=ast.ColumnRef(name="value"),
+                        name=unique_name("value"),
+                        aggregate=False,
+                    )
+                )
+                continue
+            name = item.alias or expression_label(expr)
+            output.append(
+                OutputColumn(
+                    expression=expr,
+                    name=unique_name(name),
+                    aggregate=ast.is_aggregate(expr),
+                )
+            )
+        if not output:
+            raise PlanningError("SELECT list is empty")
+        aggregate = self._resolve_aggregate(statement, output)
+        referenced = self._referenced_column_refs(statement)
+        return SelectPlan(
+            scan=None,
+            joins=(),
+            where=statement.where,
+            output=tuple(output),
+            aggregate=aggregate,
+            order_by=statement.order_by,
+            limit=statement.limit,
+            offset=statement.offset,
+            distinct=statement.distinct,
+            referenced_columns=tuple(sorted({name for _alias, name in referenced})),
+            referenced_refs=tuple(
+                sorted(referenced, key=lambda ref: (ref[0] or "", ref[1]))
+            ),
+            from_crowd=statement.from_crowd,
         )
 
     # -- helpers ---------------------------------------------------------------

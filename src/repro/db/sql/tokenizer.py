@@ -27,6 +27,7 @@ KEYWORDS = frozenset(
         "TRUE", "FALSE", "MISSING", "PERCEPTUAL", "FACTUAL",
         "CASE", "WHEN", "THEN", "ELSE", "END",
         "COUNT", "SUM", "AVG", "MIN", "MAX",
+        "CROWD", "WITH", "COMPLETENESS", "BUDGET",
     }
 )
 

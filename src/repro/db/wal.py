@@ -80,6 +80,7 @@ RECORD_TYPES = frozenset(
         "fill",
         "add_column",
         "create_index",
+        "enum_answers",
     }
 )
 

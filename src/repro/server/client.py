@@ -191,6 +191,10 @@ class ClientCursor:
         self.connection = connection
         self.columns: list[str] = []
         self.rowcount: int = -1
+        #: Chao92 enumeration statistics of the last ``INSERT ... FROM
+        #: CROWD`` statement (None for every other statement) — the same
+        #: dict a local ``QueryResult.enumeration`` carries.
+        self.enumeration: dict[str, Any] | None = None
         self._rows: list[tuple[Any, ...]] = []
         self._cursor_id: int | None = None
         self._done = True
@@ -210,6 +214,7 @@ class ClientCursor:
         response = self.connection.request(message)
         self.columns = [str(c) for c in response.get("columns", [])]
         self.rowcount = int(response.get("rowcount", -1))
+        self.enumeration = response.get("enumeration")
         self._rows = [protocol.decode_row(row) for row in response.get("rows", [])]
         self._done = bool(response.get("done", True))
         self._cursor_id = response.get("cursor") if not self._done else None

@@ -591,6 +591,11 @@ class _ClientHandler:
             "rows": encoded[:fetch_size],
             "done": len(encoded) <= fetch_size,
         }
+        if result.enumeration is not None:
+            # INSERT ... FROM CROWD: ship the Chao92 enumeration statistics
+            # (rows enumerated, est_total/est_coverage, stopping reason) so
+            # remote clients see exactly what a local QueryResult reports.
+            response["enumeration"] = result.enumeration
         if not response["done"]:
             if len(self.cursors) >= self.server.config.max_cursors:
                 raise ExecutionError(

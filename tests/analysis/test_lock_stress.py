@@ -45,7 +45,8 @@ def test_concurrent_engine_workload_keeps_lock_graph_acyclic(tmp_path):
 
     runtime = AcquisitionRuntime(cache_ttl_seconds=0.001)  # queries mostly re-acquire
     conn.set_acquisition_runtime(runtime)
-    conn.set_value_source(ConstantSource(), batch_size=8)
+    conn.set_value_source(ConstantSource())
+    conn.set_policy(conn.policy.with_overrides(crowd_batch_size=8))
 
     tracer = LockOrderTracer()
     catalog = conn.catalog

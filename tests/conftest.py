@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.datasets.movies import build_movie_corpus
-from repro.db.database import CrowdDatabase
+from repro.db.connection import Connection
 from repro.experiments.context import MovieExperimentConfig, get_movie_context
 from repro.perceptual.euclidean_embedding import EuclideanEmbeddingModel
 from repro.perceptual.factorization import FactorModelConfig
@@ -51,10 +51,10 @@ def tiny_ratings():
 
 
 @pytest.fixture
-def movies_db() -> CrowdDatabase:
-    """A fresh database with a small movies table."""
-    db = CrowdDatabase()
-    db.execute(
+def movies_db() -> Connection:
+    """A fresh connection with a small movies table."""
+    db = Connection()
+    db.run_statement(
         "CREATE TABLE movies ("
         " movie_id INTEGER PRIMARY KEY,"
         " name TEXT NOT NULL,"
@@ -62,7 +62,7 @@ def movies_db() -> CrowdDatabase:
         " rating REAL,"
         " humor REAL PERCEPTUAL)"
     )
-    db.execute(
+    db.run_statement(
         "INSERT INTO movies (movie_id, name, year, rating) VALUES "
         "(1, 'Rocky', 1976, 8.1), "
         "(2, 'Psycho', 1960, 8.5), "

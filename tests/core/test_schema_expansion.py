@@ -10,7 +10,7 @@ from repro.core.policies import DirectCrowdPolicy, PerceptualSpacePolicy
 from repro.core.schema_expansion import SchemaExpander
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.worker import WorkerPool
-from repro.db.database import CrowdDatabase
+from repro.db.connection import Connection
 from repro.db.types import is_missing
 from repro.errors import ExpansionError, UnknownColumnError
 from repro.perceptual.space import PerceptualSpace
@@ -29,9 +29,9 @@ def truth() -> dict[int, bool]:
     return {i: i <= 30 for i in range(1, 101)}
 
 
-def build_db() -> CrowdDatabase:
-    db = CrowdDatabase()
-    db.execute("CREATE TABLE items (item_id INTEGER PRIMARY KEY, name TEXT)")
+def build_db() -> Connection:
+    db = Connection()
+    db.run_statement("CREATE TABLE items (item_id INTEGER PRIMARY KEY, name TEXT)")
     db.insert_rows("items", [{"item_id": i, "name": f"Item {i}"} for i in range(1, 101)])
     return db
 
@@ -54,7 +54,7 @@ class TestExplicitExpansion:
         assert report.rows_filled == 100
         assert report.coverage == 1.0
         assert report.cost > 0
-        found = db.execute("SELECT count(*) FROM items WHERE is_positive = true").scalar()
+        found = db.run_statement("SELECT count(*) FROM items WHERE is_positive = true").scalar()
         assert 15 <= found <= 45
         # The write-back is crowd data and must be marked as such, so the
         # quality layer and cache invalidation can tell it from stored fact.
@@ -81,15 +81,15 @@ class TestExplicitExpansion:
         assert report.rows_filled == 100
 
     def test_missing_key_column(self, space, truth):
-        db = CrowdDatabase()
-        db.execute("CREATE TABLE items (other_id INTEGER)")
+        db = Connection()
+        db.run_statement("CREATE TABLE items (other_id INTEGER)")
         expander = SchemaExpander(db, build_space_policy(space), key_column="item_id", truth={})
         with pytest.raises(UnknownColumnError):
             expander.expand_attribute("items", "is_positive")
 
     def test_table_without_usable_keys(self, space):
-        db = CrowdDatabase()
-        db.execute("CREATE TABLE items (item_id INTEGER, name TEXT)")
+        db = Connection()
+        db.run_statement("CREATE TABLE items (item_id INTEGER, name TEXT)")
         expander = SchemaExpander(db, build_space_policy(space), key_column="item_id", truth={})
         with pytest.raises(ExpansionError):
             expander.expand_attribute("items", "is_positive")
@@ -102,7 +102,7 @@ class TestQueryDrivenExpansion:
             db, build_space_policy(space), key_column="item_id", truth={"is_positive": truth}
         )
         expander.attach()
-        result = db.execute("SELECT name FROM items WHERE is_positive = true")
+        result = db.run_statement("SELECT name FROM items WHERE is_positive = true")
         assert len(result) > 0
         assert len(expander.reports) == 1
         assert expander.reports[0].attribute == "is_positive"
@@ -118,7 +118,7 @@ class TestQueryDrivenExpansion:
         )
         expander.attach()
         with pytest.raises(UnknownColumnError):
-            db.execute("SELECT name FROM items WHERE email = 'x'")
+            db.run_statement("SELECT name FROM items WHERE email = 'x'")
 
     def test_failed_expansion_propagates_unknown_column(self, space):
         db = build_db()
@@ -128,7 +128,7 @@ class TestQueryDrivenExpansion:
         )
         expander.attach()
         with pytest.raises(UnknownColumnError):
-            db.execute("SELECT name FROM items WHERE is_unknown_attr = true")
+            db.run_statement("SELECT name FROM items WHERE is_unknown_attr = true")
 
     def test_direct_crowd_policy_leaves_unclassified_missing(self, truth):
         db = build_db()

@@ -6,7 +6,7 @@ import threading
 
 import pytest
 
-from repro.db import Catalog, Connection, CrowdDatabase, SessionContext, connect
+from repro.db import Catalog, Connection, SessionContext, connect
 from repro.db.types import ColumnType, MISSING
 from repro.errors import (
     ExecutionError,
@@ -527,8 +527,8 @@ class TestSessionScopedCrowdContext:
         assert session.budget_exhausted
         assert session.remaining_budget == 0.0
 
-    def test_shim_exposes_session(self):
-        db = CrowdDatabase()
+    def test_connection_exposes_session(self):
+        db = Connection()
         assert isinstance(db.session, SessionContext)
         resolver = lambda ref, row: 1.0  # noqa: E731
         db.set_missing_resolver(resolver)

@@ -15,7 +15,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.db.database import CrowdDatabase
+from repro.db.connection import Connection
 
 _NAMES = ("alpha", "beta", "gamma", "delta", "rho", "omega")
 
@@ -33,9 +33,9 @@ def table_rows(draw):
 
 
 def build_engines(rows):
-    """Load the same rows into a CrowdDatabase and an in-memory sqlite3 db."""
-    ours = CrowdDatabase()
-    ours.execute(
+    """Load the same rows into a Connection and an in-memory sqlite3 db."""
+    ours = Connection()
+    ours.run_statement(
         "CREATE TABLE movies (movie_id INTEGER PRIMARY KEY, name TEXT, year INTEGER, score INTEGER)"
     )
     reference = sqlite3.connect(":memory:")
@@ -43,7 +43,7 @@ def build_engines(rows):
         "CREATE TABLE movies (movie_id INTEGER PRIMARY KEY, name TEXT, year INTEGER, score INTEGER)"
     )
     for movie_id, name, year, score in rows:
-        ours.execute(
+        ours.run_statement(
             f"INSERT INTO movies VALUES ({movie_id}, '{name}', {year}, {score})"
         )
         reference.execute(
@@ -55,7 +55,7 @@ def build_engines(rows):
 def both(rows, sql: str):
     """Run *sql* on both engines and return (ours, reference) row lists."""
     ours, reference = build_engines(rows)
-    mine = [tuple(row) for row in ours.execute(sql).rows]
+    mine = [tuple(row) for row in ours.run_statement(sql).rows]
     theirs = [tuple(row) for row in reference.execute(sql).fetchall()]
     reference.close()
     return mine, theirs
@@ -159,14 +159,14 @@ class TestKnownSemanticDifferencesAreContained:
     """Behaviours where the engine intentionally differs from sqlite."""
 
     def test_missing_marker_has_no_sqlite_equivalent(self):
-        db = CrowdDatabase()
-        db.execute("CREATE TABLE t (a INTEGER, humor REAL PERCEPTUAL)")
-        db.execute("INSERT INTO t (a) VALUES (1)")
-        assert db.execute("SELECT count(*) FROM t WHERE humor IS MISSING").scalar() == 1
-        assert db.execute("SELECT count(humor) FROM t").scalar() == 0
+        db = Connection()
+        db.run_statement("CREATE TABLE t (a INTEGER, humor REAL PERCEPTUAL)")
+        db.run_statement("INSERT INTO t (a) VALUES (1)")
+        assert db.run_statement("SELECT count(*) FROM t WHERE humor IS MISSING").scalar() == 1
+        assert db.run_statement("SELECT count(humor) FROM t").scalar() == 0
 
     def test_true_division_for_integers(self):
-        db = CrowdDatabase()
-        db.execute("CREATE TABLE t (a INTEGER)")
-        db.execute("INSERT INTO t VALUES (3)")
-        assert db.execute("SELECT a / 2 FROM t").scalar() == pytest.approx(1.5)
+        db = Connection()
+        db.run_statement("CREATE TABLE t (a INTEGER)")
+        db.run_statement("INSERT INTO t VALUES (3)")
+        assert db.run_statement("SELECT a / 2 FROM t").scalar() == pytest.approx(1.5)

@@ -4,17 +4,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.db.database import CrowdDatabase
+from repro.db.connection import Connection
 from repro.db.sql import ast
 from repro.db.sql.parser import parse_statement
 from repro.errors import SQLSyntaxError, UnknownColumnError, UnknownTableError
 
 
 @pytest.fixture
-def db() -> CrowdDatabase:
-    database = CrowdDatabase()
-    database.execute("CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER, c TEXT)")
-    database.execute("INSERT INTO t VALUES (1, 10, 'x'), (2, 20, 'y'), (3, 10, 'z')")
+def db() -> Connection:
+    database = Connection()
+    database.run_statement("CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER, c TEXT)")
+    database.run_statement("INSERT INTO t VALUES (1, 10, 'x'), (2, 20, 'y'), (3, 10, 'z')")
     return database
 
 
@@ -42,38 +42,38 @@ class TestCreateIndexParsing:
 
 class TestCreateIndexExecution:
     def test_index_changes_access_path(self, db):
-        before = db.execute("EXPLAIN SELECT c FROM t WHERE b = 10")
+        before = db.run_statement("EXPLAIN SELECT c FROM t WHERE b = 10")
         assert "SeqScan" in before.rows[0][0]
-        db.execute("CREATE INDEX ON t (b)")
-        after = db.execute("EXPLAIN SELECT c FROM t WHERE b = 10")
+        db.run_statement("CREATE INDEX ON t (b)")
+        after = db.run_statement("EXPLAIN SELECT c FROM t WHERE b = 10")
         assert "IndexLookup" in after.rows[0][0]
 
     def test_indexed_query_results_match_scan(self, db):
-        scan_rows = set(db.execute("SELECT c FROM t WHERE b = 10").column("c"))
-        db.execute("CREATE INDEX ON t (b)")
-        index_rows = set(db.execute("SELECT c FROM t WHERE b = 10").column("c"))
+        scan_rows = set(db.run_statement("SELECT c FROM t WHERE b = 10").column("c"))
+        db.run_statement("CREATE INDEX ON t (b)")
+        index_rows = set(db.run_statement("SELECT c FROM t WHERE b = 10").column("c"))
         assert scan_rows == index_rows == {"x", "z"}
 
     def test_index_on_unknown_table(self, db):
         with pytest.raises(UnknownTableError):
-            db.execute("CREATE INDEX ON nope (b)")
+            db.run_statement("CREATE INDEX ON nope (b)")
 
     def test_index_on_unknown_column(self, db):
         with pytest.raises(UnknownColumnError):
-            db.execute("CREATE INDEX ON t (nope)")
+            db.run_statement("CREATE INDEX ON t (nope)")
 
     def test_index_stays_consistent_after_dml(self, db):
-        db.execute("CREATE INDEX ON t (b)")
-        db.execute("UPDATE t SET b = 30 WHERE a = 1")
-        db.execute("INSERT INTO t VALUES (4, 10, 'w')")
-        db.execute("DELETE FROM t WHERE a = 3")
-        rows = set(db.execute("SELECT c FROM t WHERE b = 10").column("c"))
+        db.run_statement("CREATE INDEX ON t (b)")
+        db.run_statement("UPDATE t SET b = 30 WHERE a = 1")
+        db.run_statement("INSERT INTO t VALUES (4, 10, 'w')")
+        db.run_statement("DELETE FROM t WHERE a = 3")
+        rows = set(db.run_statement("SELECT c FROM t WHERE b = 10").column("c"))
         assert rows == {"w"}
 
 
 class TestExplainExecution:
     def test_plan_rows_describe_pipeline(self, db):
-        result = db.execute(
+        result = db.run_statement(
             "EXPLAIN SELECT b, count(*) AS n FROM t WHERE a > 0 GROUP BY b ORDER BY n DESC LIMIT 1"
         )
         text = "\n".join(row[0] for row in result.rows)
@@ -84,5 +84,5 @@ class TestExplainExecution:
         assert "Limit 1" in text
 
     def test_explain_does_not_touch_data(self, db):
-        db.execute("EXPLAIN SELECT * FROM t")
-        assert db.execute("SELECT count(*) FROM t").scalar() == 3
+        db.run_statement("EXPLAIN SELECT * FROM t")
+        assert db.run_statement("SELECT count(*) FROM t").scalar() == 3

@@ -81,6 +81,7 @@ class TestFraming:
             "fill",
             "add_column",
             "create_index",
+            "enum_answers",
         }
 
     def test_torn_tail_stops_scan(self, tmp_path):

@@ -418,3 +418,78 @@ class TestWireProtocolMisuse:
         with pytest.raises(ExecutionError, match="cursor"):
             conn.request({"op": "fetch", "cursor": 999})
         conn.close()
+
+
+class TestServedEnumeration:
+    """Open-world enumeration over the wire: same Chao92 stats as local."""
+
+    UNIVERSE = [f"species-{i:02d}" for i in range(20)]
+
+    def _make_source(self):
+        from repro.crowd.platform import CrowdPlatform
+        from repro.crowd.sources import SimulatedCrowdValueSource
+        from repro.crowd.worker import WorkerPool
+
+        return SimulatedCrowdValueSource(
+            CrowdPlatform(seed=11),
+            WorkerPool.build(n_honest=5, seed=3),
+            truth={},
+            seed=7,
+            universe={"birds": self.UNIVERSE},
+            answers_per_batch=25,
+            payment_per_hit=0.05,
+        )
+
+    def _enumeration_server(self, max_cost: float | None = 5.0) -> ReproServer:
+        def factory(config: TenantConfig) -> SessionContext:
+            return SessionContext(
+                max_cost=config.max_cost, value_source=self._make_source()
+            )
+
+        tenants = [TenantConfig(name="alice", max_cost=max_cost)]
+        return ReproServer(
+            ServerConfig(port=0), tenants=tenants, session_factory=factory
+        )
+
+    SQL_CREATE = "CREATE TABLE birds (bird_id INTEGER PRIMARY KEY, name TEXT)"
+    SQL_ENUM = (
+        "INSERT INTO birds (name) FROM CROWD WHERE 'birds' "
+        "WITH COMPLETENESS >= 0.9"
+    )
+
+    def test_client_receives_identical_enumeration_stats(self):
+        # Local baseline with the identically seeded source.
+        local = repro.connect()
+        local.set_value_source(self._make_source())
+        local.execute(self.SQL_CREATE)
+        local_cur = local.execute(self.SQL_ENUM)
+        local_stats = local_cur.result.enumeration
+        local_rows = local.execute("SELECT name FROM birds ORDER BY bird_id").fetchall()
+        assert local_stats is not None
+        assert local_stats["stopped_on"] == "completeness"
+
+        with self._enumeration_server() as srv:
+            client = repro.client.connect(*srv.address, tenant="alice")
+            client.execute(self.SQL_CREATE)
+            cur = client.execute(self.SQL_ENUM)
+            # The wire carries the very dict a local QueryResult exposes.
+            assert cur.enumeration == local_stats
+            assert cur.rowcount == local_cur.rowcount
+            served_rows = client.execute(
+                "SELECT name FROM birds ORDER BY bird_id"
+            ).fetchall()
+            assert served_rows == local_rows
+            # Non-enumeration statements carry no enumeration payload.
+            assert client.execute("SELECT 1").enumeration is None
+            client.close()
+
+    def test_served_enumeration_respects_tenant_budget(self):
+        with self._enumeration_server(max_cost=0.05) as srv:
+            client = repro.client.connect(*srv.address, tenant="alice")
+            client.execute(self.SQL_CREATE)
+            cur = client.execute(self.SQL_ENUM)
+            assert cur.enumeration is not None
+            assert cur.enumeration["stopped_on"] == "budget"
+            snapshot = {s["tenant"]: s for s in srv.registry.snapshot()}
+            assert snapshot["alice"]["cost_spent"] <= 0.05 + 1e-9
+            client.close()

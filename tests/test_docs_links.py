@@ -72,6 +72,7 @@ def test_docs_tree_is_complete():
         "architecture.md",
         "operators.md",
         "acquisition.md",
+        "enumeration.md",
         "persistence.md",
         "api.md",
         "server.md",

@@ -13,15 +13,15 @@ from repro.core import (
     SchemaExpander,
 )
 from repro.crowd import CrowdPlatform, WorkerPool
-from repro.db import CrowdDatabase
+from repro.db import Connection
 from repro.experiments.questionable import corrupt_labels
 from repro.learn.metrics import g_mean
 
 
 @pytest.fixture(scope="module")
 def loaded_db(small_corpus):
-    db = CrowdDatabase()
-    db.execute(
+    db = Connection()
+    db.run_statement(
         "CREATE TABLE movies (item_id INTEGER PRIMARY KEY, name TEXT NOT NULL, year INTEGER)"
     )
     db.insert_rows(
@@ -47,7 +47,7 @@ class TestEndToEndSchemaExpansion:
         )
         expander.attach()
 
-        result = loaded_db.execute(
+        result = loaded_db.run_statement(
             "SELECT name FROM movies WHERE is_comedy = true ORDER BY year DESC LIMIT 10"
         )
         assert 0 < len(result) <= 10
@@ -99,6 +99,7 @@ class TestEndToEndSchemaExpansion:
         import repro
 
         assert repro.__version__
-        assert hasattr(repro, "CrowdDatabase")
+        assert hasattr(repro, "connect")
+        assert hasattr(repro, "AcquisitionPolicy")
         assert hasattr(repro, "SchemaExpander")
         assert hasattr(repro, "EuclideanEmbeddingModel")
