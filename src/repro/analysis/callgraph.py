@@ -44,11 +44,17 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 #: Curated lock sites: (module-path suffix, class, attribute) -> lock id.
-#: These are the eight synchronisation points the engine relies on today;
-#: the generic fallback below picks up any future additions under a
+#: These are the synchronisation points the engine relies on today; the
+#: generic fallback below picks up any future additions under a
 #: class-qualified name so they participate in the graph automatically.
+#: The pager hierarchy orders strictly ``Catalog.lock`` →
+#: ``PagedRowStore._lock`` → ``Pager._alloc_lock`` → ``BufferPool._lock``
+#: (the pool lock is a leaf: nothing is acquired while holding it).
 KNOWN_LOCKS: dict[tuple[str, str, str], str] = {
     ("db/catalog.py", "Catalog", "lock"): "Catalog.lock",
+    ("db/pager.py", "PagedRowStore", "_lock"): "PagedRowStore._lock",
+    ("db/pager.py", "Pager", "_alloc_lock"): "Pager._alloc_lock",
+    ("db/pager.py", "BufferPool", "_lock"): "BufferPool._lock",
     ("crowd/runtime.py", "AcquisitionRuntime", "_lock"): "AcquisitionRuntime._lock",
     (
         "crowd/runtime.py",
@@ -153,6 +159,8 @@ RECEIVER_TYPES: dict[str, str] = {
     "_platform": "CrowdPlatform",
     "_executor": "Executor",
     "executor": "Executor",
+    "_planner": "Planner",
+    "planner": "Planner",
 }
 
 #: Method names so generic (dict/list/set API) that name-based resolution
@@ -190,6 +198,8 @@ GENERIC_NAMES = frozenset(
         "scan",
         "write",
         "read",
+        "lower",
+        "upper",
     }
 )
 

@@ -125,6 +125,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="WAL durability mode of the served database directory",
     )
+    serve.add_argument(
+        "--buffer-pool-pages",
+        type=int,
+        default=None,
+        help=(
+            "buffer-pool capacity of the paged row store in pages "
+            "(0 disables paging; default: engine default)"
+        ),
+    )
 
     lint = subparsers.add_parser(
         "lint",
@@ -318,6 +327,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             port=args.port,
             path=args.db_path,
             synchronous=args.synchronous,
+            buffer_pool_pages=args.buffer_pool_pages,
             max_inflight=args.max_inflight,
             executor_threads=args.executor_threads,
             drain_grace=args.drain_grace,

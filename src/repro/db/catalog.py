@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import threading
 import weakref
-from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
 
 from repro.db.schema import TableSchema
 from repro.db.storage import TableStorage
@@ -54,6 +54,12 @@ class Catalog:
         #: Journaled on durable catalogs so a restarted process replays
         #: repeat enumerations from the answer cache at zero platform calls.
         self._enum_answers: dict[tuple[str, int], list[Any]] = {}
+        #: Builds the storage of newly created tables.  Durable catalogs
+        #: install a factory that injects a paged row map (the shared
+        #: buffer pool of :class:`~repro.db.pager.Pager`); None means
+        #: plain in-memory rows.  Must be set *before* recovery replays
+        #: ``create_table`` records.
+        self.storage_factory: Callable[[TableSchema], TableStorage] | None = None
 
     # -- acquisition runtime ------------------------------------------------------
 
@@ -163,7 +169,10 @@ class Catalog:
             if if_not_exists:
                 return self._tables[key]
             raise DuplicateTableError(schema.name)
-        storage = TableStorage(schema)
+        if self.storage_factory is not None:
+            storage = self.storage_factory(schema)
+        else:
+            storage = TableStorage(schema)
         storage.on_schema_change = self.bump_version
         storage.on_cell_invalidated = (
             lambda column, rowid, table=schema.name: self._invalidate_cell(

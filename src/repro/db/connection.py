@@ -1432,6 +1432,8 @@ def connect(
     path: Any = None,
     synchronous: str | None = None,
     checkpoint_interval: int | None = _UNSET,
+    buffer_pool_pages: int | None = None,
+    page_size: int | None = None,
     session: SessionContext | None = None,
     policy: AcquisitionPolicy | None = None,
     statement_cache_size: int = 128,
@@ -1461,9 +1463,13 @@ def connect(
     policy (``"full"`` per statement, ``"normal"`` group commit,
     ``"off"``) and ``checkpoint_interval`` the automatic-snapshot cadence
     in WAL records (``None`` disables) — both adjustable at runtime via
-    ``PRAGMA``.  Closing this connection closes the database directory;
-    see ``docs/persistence.md`` for the file format and crash-safety
-    guarantees.
+    ``PRAGMA``.  Durable tables keep their rows in a paged store behind a
+    fixed-size buffer pool (``docs/storage.md``): ``buffer_pool_pages``
+    sets its capacity (0 keeps rows in plain memory), ``page_size`` the
+    page size in bytes; the pool is resizable at runtime via ``PRAGMA
+    buffer_pool_pages = N``.  Closing this connection closes the database
+    directory; see ``docs/persistence.md`` for the file format and
+    crash-safety guarantees.
     """
     if policy is not None:
         if session is None:
@@ -1472,22 +1478,35 @@ def connect(
             session.policy = policy
     owns_durability = False
     if path is None:
-        if synchronous is not None or checkpoint_interval is not _UNSET:
+        if (
+            synchronous is not None
+            or checkpoint_interval is not _UNSET
+            or buffer_pool_pages is not None
+            or page_size is not None
+        ):
             # Silently accepting the knobs would let e.g.
             # connect(synchronous="full") look durable while nothing is.
             raise ValueError(
-                "synchronous/checkpoint_interval are durability knobs: "
-                "they require path=..."
+                "synchronous/checkpoint_interval/buffer_pool_pages/page_size "
+                "are durability knobs: they require path=..."
             )
     else:
         if catalog is not None:
             raise ValueError("pass either a catalog or a path, not both")
-        from repro.db.durability import DurabilityManager
+        from repro.db.durability import (
+            DEFAULT_PAGE_SIZE,
+            DEFAULT_POOL_PAGES,
+            DurabilityManager,
+        )
 
         manager = DurabilityManager(
             path,
             synchronous="normal" if synchronous is None else synchronous,
             checkpoint_interval=1000 if checkpoint_interval is _UNSET else checkpoint_interval,
+            buffer_pool_pages=(
+                DEFAULT_POOL_PAGES if buffer_pool_pages is None else buffer_pool_pages
+            ),
+            page_size=DEFAULT_PAGE_SIZE if page_size is None else page_size,
         )
         catalog = manager.catalog
         owns_durability = True

@@ -6,6 +6,12 @@
         LOCK           advisory lock: one process opens a directory at a time
         snapshot.json  last checkpoint (see :mod:`repro.db.snapshot`)
         wal.log        append-only record log (see :mod:`repro.db.wal`)
+        pages.dat      paged row heap (see :mod:`repro.db.pager`)
+
+``pages.dat`` is a *rebuildable spill file*, not a durability artifact: it
+is truncated at open and repopulated while recovery replays the snapshot
+and WAL, so only the bounded buffer pool — never the full table — lives
+in process memory, while the crash story stays exactly snapshot + WAL.
 
 Opening recovers the catalog as **snapshot + WAL tail**: the snapshot is
 restored first, then every WAL record with ``lsn > snapshot.last_lsn`` is
@@ -36,6 +42,7 @@ from typing import Any, Sequence
 
 from repro.crowd.estimation import ENUMERATION_TABLE
 from repro.db.catalog import Catalog
+from repro.db.pager import DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES, Pager
 from repro.db.schema import Column
 from repro.db.snapshot import (
     catalog_state,
@@ -73,6 +80,7 @@ __all__ = ["DurabilityManager", "TableJournal", "open_database"]
 #: File names inside a database directory.
 WAL_NAME = "wal.log"
 LOCK_NAME = "LOCK"
+PAGES_NAME = "pages.dat"
 
 #: Records appended between automatic checkpoints (None disables them).
 DEFAULT_CHECKPOINT_INTERVAL = 1000
@@ -155,6 +163,13 @@ class DurabilityManager:
         ``PRAGMA checkpoint_interval`` adjusts it).
     group_size:
         Records per group-commit fsync batch in ``normal`` mode.
+    buffer_pool_pages:
+        Capacity of the shared buffer pool over ``pages.dat``.  The
+        default pages every table's rows; ``0`` keeps rows in process
+        memory (the pre-pager behaviour, an escape hatch for embedded
+        uses that want zero spill I/O).
+    page_size:
+        Page size of the spill file in bytes.
     """
 
     def __init__(
@@ -164,6 +179,8 @@ class DurabilityManager:
         synchronous: str = "normal",
         checkpoint_interval: int | None = DEFAULT_CHECKPOINT_INTERVAL,
         group_size: int = 64,
+        buffer_pool_pages: int = DEFAULT_POOL_PAGES,
+        page_size: int = DEFAULT_PAGE_SIZE,
     ) -> None:
         if checkpoint_interval is not None and checkpoint_interval < 1:
             raise PersistenceError("checkpoint_interval must be >= 1 (or None)")
@@ -179,9 +196,25 @@ class DurabilityManager:
         self.torn_records_dropped = 0
         #: Lifetime counters.
         self.checkpoints = 0
+        #: The shared spill-file pager (None when paging is disabled).
+        self.pager: Pager | None = None
 
         try:
+            # The pager truncates pages.dat, so it must come after the
+            # advisory lock — and before recovery, which repopulates it
+            # through the tables' paged row maps.
+            if buffer_pool_pages:
+                self.pager = Pager(
+                    self.directory / PAGES_NAME,
+                    page_size=page_size,
+                    pool_pages=buffer_pool_pages,
+                )
             self.catalog = Catalog()
+            if self.pager is not None:
+                pager = self.pager
+                self.catalog.storage_factory = lambda schema: TableStorage(
+                    schema, row_map=pager.row_map()
+                )
             last_lsn = self._recover()
             wal_path = self.directory / WAL_NAME
             self.wal = WriteAheadLog(
@@ -192,6 +225,8 @@ class DurabilityManager:
             self.catalog.attach_durability(self)
             self.catalog.set_warm_answers(self._collect_crowd_answers())
         except BaseException:
+            if self.pager is not None:
+                self.pager.close()
             self._release_lock()
             raise
 
@@ -420,6 +455,8 @@ class DurabilityManager:
             return
         self._closed = True
         self.wal.close()
+        if self.pager is not None:
+            self.pager.close()
         self._release_lock()
 
     @property
@@ -448,7 +485,23 @@ class DurabilityManager:
             "snapshot_loaded": self.snapshot_loaded,
             "records_replayed": self.records_replayed,
             "torn_records_dropped": self.torn_records_dropped,
+            "buffer_pool_pages": 0 if self.pager is None else self.pager.pool.capacity,
         }
+
+    def buffer_pool_stats(self) -> dict[str, int]:
+        """Pager + pool counters (``PRAGMA buffer_pool_stats``)."""
+        if self.pager is None:
+            return {"capacity_pages": 0}
+        return self.pager.stats()
+
+    def set_buffer_pool_pages(self, capacity: int) -> None:
+        """Resize the buffer pool (``PRAGMA buffer_pool_pages = N``)."""
+        if self.pager is None:
+            raise PersistenceError(
+                "this database was opened without a buffer pool "
+                "(buffer_pool_pages=0); reopen it to enable paging"
+            )
+        self.pager.pool.resize(int(capacity))
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
@@ -461,6 +514,8 @@ def open_database(
     synchronous: str = "normal",
     checkpoint_interval: int | None = DEFAULT_CHECKPOINT_INTERVAL,
     group_size: int = 64,
+    buffer_pool_pages: int = DEFAULT_POOL_PAGES,
+    page_size: int = DEFAULT_PAGE_SIZE,
 ) -> DurabilityManager:
     """Open or create the database directory at *path* and recover it."""
     return DurabilityManager(
@@ -468,4 +523,6 @@ def open_database(
         synchronous=synchronous,
         checkpoint_interval=checkpoint_interval,
         group_size=group_size,
+        buffer_pool_pages=buffer_pool_pages,
+        page_size=page_size,
     )

@@ -118,6 +118,9 @@ def table_state(storage: TableStorage) -> dict[str, Any]:
         "rows": {str(rowid): encode_row(row) for rowid, row in storage.scan()},
         "indexes": sorted(storage.index_columns()),
         "provenance": provenance,
+        # Planner statistics ride the checkpoint so a recovered database
+        # costs plans with the numbers it had before the restart.
+        "stats": storage.stats.to_state(),
     }
 
 
@@ -138,6 +141,11 @@ def restore_table(catalog: "Catalog", state: dict[str, Any]) -> TableStorage:
                     source=entry["source"], confidence=float(entry["confidence"])
                 ),
             )
+    # Older snapshots carry no stats; the restore loop above already
+    # re-accumulated write-path statistics, so only overwrite when the
+    # snapshot has the richer (possibly ANALYZE-built) numbers.
+    if "stats" in state:
+        storage.stats.load_state(state["stats"])
     return storage
 
 

@@ -400,20 +400,36 @@ class Executor:
     # -- PRAGMA ----------------------------------------------------------------
 
     def _execute_pragma(self, statement: ast.PragmaStatement) -> QueryResult:
-        """Durability knobs and actions (``synchronous``, ``checkpoint_interval``,
-        ``wal_checkpoint``, ``durability_stats``).
+        """Durability and planner knobs and actions.
+
+        Durability-backed: ``synchronous``, ``checkpoint_interval``,
+        ``wal_checkpoint``, ``durability_stats``, ``buffer_pool_pages``,
+        ``buffer_pool_stats`` — these require a durable database opened
+        via ``repro.connect(path=...)``, except reading ``synchronous`` on
+        an in-memory database, which reports ``"memory"``.
+
+        Statistics (work on any database): ``analyze [= 'table']``
+        rebuilds planner statistics (including histograms) from a full
+        scan, ``table_stats = 'table'`` reports the per-column statistics
+        the cost model estimates with.
 
         Reads (no value) return one row; writes apply the setting and
-        return an empty result.  All of them require a durable database
-        opened via ``repro.connect(path=...)`` — except reading
-        ``synchronous`` on an in-memory database, which reports
-        ``"memory"``.
+        return an empty result.
         """
         name = statement.name
         durability = self._catalog.durability
+        if name in ("analyze", "table_stats"):
+            return self._execute_stats_pragma(statement)
         if name == "synchronous" and statement.value is None and durability is None:
             return QueryResult(columns=["synchronous"], rows=[("memory",)], rowcount=0)
-        if name in ("synchronous", "checkpoint_interval", "wal_checkpoint", "durability_stats"):
+        if name in (
+            "synchronous",
+            "checkpoint_interval",
+            "wal_checkpoint",
+            "durability_stats",
+            "buffer_pool_pages",
+            "buffer_pool_stats",
+        ):
             if durability is None:
                 raise ExecutionError(
                     f"PRAGMA {name} requires a durable database "
@@ -431,6 +447,28 @@ class Executor:
                 rows=[(key, value) for key, value in stats.items()],
                 rowcount=0,
             )
+        if name == "buffer_pool_stats":
+            pool_stats = durability.buffer_pool_stats()
+            return QueryResult(
+                columns=["key", "value"],
+                rows=[(key, value) for key, value in pool_stats.items()],
+                rowcount=0,
+            )
+        if name == "buffer_pool_pages":
+            if statement.value is None:
+                capacity = durability.buffer_pool_stats().get("capacity_pages", 0)
+                return QueryResult(
+                    columns=["buffer_pool_pages"], rows=[(capacity,)], rowcount=0
+                )
+            try:
+                capacity = int(statement.value)
+            except (TypeError, ValueError) as exc:
+                raise ExecutionError(
+                    f"PRAGMA buffer_pool_pages expects an integer, "
+                    f"got {statement.value!r}"
+                ) from exc
+            durability.set_buffer_pool_pages(capacity)
+            return QueryResult(columns=[], rows=[], rowcount=0)
         if name == "synchronous":
             if statement.value is None:
                 return QueryResult(
@@ -455,6 +493,41 @@ class Executor:
             ) from exc
         durability.set_checkpoint_interval(interval)
         return QueryResult(columns=[], rows=[], rowcount=0)
+
+    def _execute_stats_pragma(self, statement: ast.PragmaStatement) -> QueryResult:
+        """``PRAGMA analyze [= 'table']`` and ``PRAGMA table_stats = 'table'``."""
+        if statement.name == "analyze":
+            if statement.value is None:
+                names = self._catalog.table_names()
+            else:
+                names = [str(statement.value)]
+            for name in names:
+                self._catalog.table(name).analyze()
+            return QueryResult(
+                columns=["analyzed_tables"], rows=[(len(names),)], rowcount=0
+            )
+        if statement.value is None:
+            raise ExecutionError(
+                "PRAGMA table_stats requires a table name, "
+                "e.g. PRAGMA table_stats = 'items'"
+            )
+        storage = self._catalog.table(str(statement.value))
+        summaries = storage.stats.column_summaries()
+        return QueryResult(
+            columns=["column", "non_null", "ndv", "min", "max", "histogram_buckets"],
+            rows=[
+                (
+                    column,
+                    summary["non_null"],
+                    summary["ndv"],
+                    summary["min"],
+                    summary["max"],
+                    summary["histogram_buckets"],
+                )
+                for column, summary in sorted(summaries.items())
+            ],
+            rowcount=0,
+        )
 
     def _execute_alter_add_column(self, statement: ast.AlterTableAddColumn) -> QueryResult:
         table = self._catalog.table(statement.table)

@@ -5,8 +5,10 @@ The planner produces a *logical* :class:`~repro.db.sql.planner.SelectPlan`;
 operators, each a pull-based iterator:
 
 * access paths — :class:`SeqScan`, :class:`IndexScan` (rendered as
-  ``IndexLookup``), both snapshotting the row set under the catalog lock at
-  ``open()`` time and copying rows lazily as they are pulled;
+  ``IndexLookup``) and the cost-model-chosen :class:`IndexRangeScan`
+  (ordered-index range probe and/or Sort-eliminating ordered walk), all
+  snapshotting the row set under the catalog lock at ``open()`` time and
+  copying rows lazily as they are pulled;
 * :class:`CrowdFill` — the crowd-acquisition operator.  It watches the rows
   streaming out of a scan for MISSING values of crowd-sourced (perceptual)
   attributes and dispatches them to a batch :class:`ValueSource` in
@@ -93,8 +95,14 @@ from repro.db.sql.expressions import (
     evaluate_predicate,
     expression_label,
 )
-from repro.db.sql.planner import OutputColumn, ScanPlan, SelectPlan
-from repro.db.types import is_missing
+from repro.db.sql.planner import (
+    AccessPath,
+    OutputColumn,
+    ScanPlan,
+    SelectPlan,
+    choose_join_strategy,
+)
+from repro.db.types import is_missing, sort_rank
 from repro.errors import ExecutionError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -177,6 +185,10 @@ class Operator:
         self.children: tuple[Operator, ...] = children
         #: Number of items this operator has produced so far.
         self.rows_out = 0
+        #: Cost-model row estimate set at lowering time (None when the
+        #: planner made no estimate for this operator).  EXPLAIN ANALYZE
+        #: renders it as ``est=N`` next to the actual count.
+        self.est_rows: Optional[int] = None
         #: Inclusive wall-clock seconds spent producing items (contains the
         #: children's time, like the "actual time" of EXPLAIN ANALYZE in
         #: mainstream engines; for a CrowdFill it contains the platform
@@ -228,7 +240,10 @@ class Operator:
         Every operator reports its row count and inclusive wall time;
         subclasses contribute extra counters through :meth:`extra_stats`.
         """
-        parts = [f"rows={self.rows_out}", *self.extra_stats()]
+        parts = [f"rows={self.rows_out}"]
+        if self.est_rows is not None:
+            parts.append(f"est={self.est_rows}")
+        parts.extend(self.extra_stats())
         parts.append(f"time={self.wall_seconds * 1000.0:.1f}ms")
         return " ".join(parts)
 
@@ -321,16 +336,10 @@ class _ComparableValue:
         self.value = value
 
     def _rank(self) -> tuple[int, Any]:
-        value = self.value
-        if value is None or is_missing(value):
-            return (3, 0)
-        if isinstance(value, bool):
-            return (0, int(value))
-        if isinstance(value, (int, float)):
-            return (0, float(value))
-        if isinstance(value, str):
-            return (1, value)
-        return (2, str(value))
+        # Delegates to the engine-wide total order: the ordered secondary
+        # index ranks through the same function, which is what makes an
+        # index-backed ORDER BY agree row-for-row with this operator.
+        return sort_rank(self.value)
 
     def __lt__(self, other: "_ComparableValue") -> bool:
         return self._rank() < other._rank()
@@ -434,6 +443,138 @@ class IndexScan(Operator):
 
     def detail(self) -> str:
         return f"{self.table} AS {self.alias} ON {self.column}"
+
+
+class IndexRangeScan(Operator):
+    """Ordered-index walk: range probe, ordered scan, or both.
+
+    Lowered from a cost-model :class:`~repro.db.sql.planner.AccessPath`.
+    With bounds set, only entries inside ``low <op> value <op> high`` are
+    fetched (unknown cells are never inside a range — exactly the rows the
+    residual WHERE filter would keep).  With ``ordered`` set and *no*
+    bounds, the scan walks the whole index in order — every row including
+    NULL/MISSING cells, which come last in both directions — and the
+    lowering has eliminated the Sort operator.  An ascending ordered walk
+    composes with bounds (a range is emitted in index order already).
+
+    Bound expressions are resolved at ``open()`` time.  A NULL bound makes
+    the range predicate unknown for every row, so the scan is empty.  Like
+    :class:`IndexScan`, a vanished index degrades to a full snapshot scan
+    — the residual filter keeps the result correct (the dialect has no
+    DROP INDEX, so an eliminated Sort can only lose its index to DROP
+    TABLE, which makes the whole query fail on lookup instead).
+    """
+
+    label = "IndexRangeScan"
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        table: str,
+        alias: str,
+        column: str,
+        low: Optional[ast.Expression] = None,
+        high: Optional[ast.Expression] = None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        ordered: bool = False,
+        descending: bool = False,
+    ) -> None:
+        super().__init__()
+        self._catalog = catalog
+        self.table = table
+        self.alias = alias
+        self.column = column
+        self._low = low
+        self._high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+        self.ordered = ordered
+        self.descending = descending
+        self._snapshot: list[tuple[int, dict[str, Any]]] = []
+        self.rows_scanned = 0
+
+    def open(self) -> None:
+        """Probe the index and collect the matching rows (under the lock)."""
+        storage = self._catalog.table(self.table)
+        index = storage.index_on(self.column)
+        if index is None:  # index vanished between planning and execution
+            self._snapshot = storage.snapshot()
+            return
+        low = high = None
+        if self._low is not None:
+            low = evaluate(self._low, RowContext())
+            if _is_unknown(low):
+                return  # NULL bound: predicate unknown for every row
+        if self._high is not None:
+            high = evaluate(self._high, RowContext())
+            if _is_unknown(high):
+                return
+        if low is None and high is None:
+            rowids: Iterator[int] | list[int] = index.ordered_rowids(
+                descending=self.descending
+            )
+        elif self.descending:
+            rowids = _descending_group_rowids(
+                index.range_pairs(
+                    low,
+                    high,
+                    low_inclusive=self.low_inclusive,
+                    high_inclusive=self.high_inclusive,
+                )
+            )
+        else:
+            rowids = index.range_rowids(
+                low,
+                high,
+                low_inclusive=self.low_inclusive,
+                high_inclusive=self.high_inclusive,
+            )
+        self._snapshot = [(rowid, storage.get(rowid)) for rowid in rowids]
+
+    def close(self) -> None:
+        self._snapshot = []
+        super().close()
+
+    def _produce(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        for rowid, row in self._snapshot:
+            self.rows_scanned += 1
+            yield rowid, _copy_row(row)
+
+    def detail(self) -> str:
+        pieces = []
+        if self._low is not None:
+            op = ">=" if self.low_inclusive else ">"
+            pieces.append(f"{self.column} {op} {expression_label(self._low)}")
+        if self._high is not None:
+            op = "<=" if self.high_inclusive else "<"
+            pieces.append(f"{self.column} {op} {expression_label(self._high)}")
+        condition = " AND ".join(pieces) if pieces else self.column
+        suffix = ""
+        if self.ordered:
+            suffix = " (ordered desc)" if self.descending else " (ordered)"
+        return f"{self.table} AS {self.alias} ON {condition}{suffix}"
+
+
+def _descending_group_rowids(
+    pairs: Sequence[tuple[tuple[int, Any], int]],
+) -> Iterator[int]:
+    """Walk ``(rank, rowid)`` pairs by descending rank, rowids ascending.
+
+    Mirrors :meth:`~repro.db.indexes.OrderedIndex.ordered_rowids` for a
+    bounded slice: equal-rank groups keep ascending rowid order, matching
+    what a stable ``reverse=True`` sort produces.
+    """
+    i = len(pairs)
+    while i > 0:
+        rank = pairs[i - 1][0]
+        j = i
+        while j > 0 and pairs[j - 1][0] == rank:
+            j -= 1
+        for _rank, rowid in pairs[j:i]:
+            yield rowid
+        i = j
 
 
 class CrowdFill(Operator):
@@ -1629,20 +1770,42 @@ def _lower_scan(
     crowd: CrowdFillSpec | None,
     predict: PredictSpec | None,
     lock: ContextManager[Any] | None,
+    access_path: AccessPath | None = None,
 ) -> Operator:
     """Lower one table scan, stacking acquisition operators as configured.
 
     The shape depends on the session: bare scan (no crowd config),
     ``scan -> CrowdFill`` (exhaustive crowd-only acquisition), or the
     hybrid ``scan -> CrowdFill(sample) -> PredictFill`` two-stage plan.
+    A cost-model *access_path* (only ever passed for the driving scan of a
+    vanilla plan) lowers to an :class:`IndexRangeScan` instead.
     """
+    storage = catalog.table(scan.table)
     source: Operator
-    if scan.uses_index and scan.index_value is not None:
+    if access_path is not None:
+        source = IndexRangeScan(
+            catalog,
+            scan.table,
+            scan.alias,
+            access_path.column,
+            access_path.low,
+            access_path.high,
+            low_inclusive=access_path.low_inclusive,
+            high_inclusive=access_path.high_inclusive,
+            ordered=access_path.ordered,
+            descending=access_path.descending,
+        )
+        source.est_rows = access_path.est_rows
+    elif scan.uses_index and scan.index_value is not None:
         source = IndexScan(
             catalog, scan.table, scan.alias, scan.index_column or "", scan.index_value
         )
+        source.est_rows = storage.stats.estimate_equality(
+            scan.index_column or "", len(storage)
+        )
     else:
         source = SeqScan(catalog, scan.table, scan.alias)
+        source.est_rows = len(storage)
     if crowd is None and predict is None:
         return source
     attributes = crowd_attributes_for(plan, catalog.table(scan.table).schema, scan.alias)
@@ -1739,6 +1902,7 @@ def lower_select_plan(
     predict: PredictSpec | None = None,
     lock: ContextManager[Any] | None = None,
     hash_joins: bool = True,
+    access_path: AccessPath | None = None,
 ) -> Operator:
     """Lower a logical :class:`SelectPlan` into a physical operator tree.
 
@@ -1748,6 +1912,11 @@ def lower_select_plan(
     With both *crowd* and *predict* configured, scans of tables whose
     referenced perceptual attributes have MISSING cells lower to the
     two-stage hybrid plan ``scan -> CrowdFill(sample) -> PredictFill``.
+
+    *access_path* is the cost model's verdict for the driving scan (see
+    :meth:`~repro.db.sql.planner.Planner.choose_scan_path`); when it is
+    ``ordered`` the index walk already emits rows in ORDER BY order and no
+    Sort operator is planted.
     """
     root: Operator
     if plan.from_crowd is not None:
@@ -1767,12 +1936,16 @@ def lower_select_plan(
     elif plan.scan is None:
         root = SingleRow()
     else:
-        source = _lower_scan(plan, plan.scan, catalog, crowd, predict, lock)
+        source = _lower_scan(
+            plan, plan.scan, catalog, crowd, predict, lock, access_path
+        )
         root = Bind(source, plan.scan.alias)
+        left_est = source.est_rows if source.est_rows is not None else 1
         aliases = {plan.scan.alias.lower()}
         for join in plan.joins:
             right = _lower_scan(plan, join.scan, catalog, crowd, predict, lock)
             right_columns = catalog.table(join.scan.table).schema.column_names
+            right_est = len(catalog.table(join.scan.table))
             keys = None
             if (
                 hash_joins
@@ -1781,7 +1954,11 @@ def lower_select_plan(
                 and join.condition is not None
             ):
                 keys = _equi_join_keys(join.condition, aliases, join.scan.alias)
-            if keys is not None:
+            strategy = choose_join_strategy(
+                left_est, right_est, equi_keys=keys is not None
+            )
+            if strategy == "hash":
+                assert keys is not None
                 left_key, right_column = keys
                 root = HashJoin(
                     root,
@@ -1792,6 +1969,9 @@ def lower_select_plan(
                     join.kind,
                     right_columns,
                 )
+                # Equi-join output heuristic: each left row matches about
+                # one right group, so the larger input bounds the estimate.
+                left_est = max(1, left_est, right_est)
             else:
                 root = NestedLoopJoin(
                     root,
@@ -1802,6 +1982,11 @@ def lower_select_plan(
                     right_columns,
                     missing_resolver,
                 )
+                if join.condition is None:  # cross join: full product
+                    left_est = max(1, left_est * right_est)
+                else:
+                    left_est = max(1, left_est, right_est)
+            root.est_rows = left_est
             aliases.add(join.scan.alias.lower())
 
     if plan.where is not None:
@@ -1821,7 +2006,9 @@ def lower_select_plan(
     if plan.distinct:
         root = Distinct(root)
 
-    if plan.order_by:
+    if plan.order_by and not (access_path is not None and access_path.ordered):
+        # An ordered access path already emits rows in ORDER BY order
+        # (including NULLS LAST), so the Sort is eliminated.
         root = Sort(
             root,
             plan.order_by,

@@ -4,18 +4,34 @@ The planner is deliberately small but real: it expands ``*`` projections,
 resolves and validates every column reference against the catalog (this is
 where an unknown perceptual attribute surfaces as
 :class:`~repro.errors.UnknownColumnError`, the trigger for query-driven
-schema expansion), detects aggregation, and chooses between a full table
-scan and a hash-index lookup for simple equality predicates.
+schema expansion), detects aggregation, and chooses access paths.
+
+Access-path selection happens in two places.  :meth:`Planner.plan_select`
+(logical, cacheable per schema version) recognises top-level
+``col = literal`` equality predicates over an indexed column — the classic
+``IndexLookup``.  :meth:`Planner.lower` (physical, runs per execution under
+the catalog lock) additionally runs a small cost model over the table's
+:class:`~repro.db.stats.TableStats`: range predicates (``<``, ``<=``,
+``>``, ``>=``, ``BETWEEN``) over an ordered-indexed column lower to an
+:class:`~repro.db.sql.operators.IndexRangeScan` when the estimated match
+count makes the index walk cheaper than a full scan, and a single-column
+ORDER BY over an indexed column is served by an ordered index walk with
+the Sort operator eliminated.  Cost-model choices are only made for
+*vanilla* scans — no crowd acquisition, no missing-value resolver, no
+joins — where an index probe is guaranteed to see exactly the rows a
+sequential scan would.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.db.catalog import Catalog
 from repro.db.sql import ast
-from repro.db.sql.expressions import expression_label
+from repro.db.sql.expressions import RowContext, evaluate, expression_label
+from repro.db.types import is_absent
 from repro.errors import PlanningError, UnknownColumnError
 
 # ---------------------------------------------------------------------------
@@ -36,6 +52,58 @@ class ScanPlan:
     def uses_index(self) -> bool:
         """True if this scan uses a hash-index equality lookup."""
         return self.index_column is not None
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """Cost-model verdict for the driving scan of a vanilla single-table plan.
+
+    Produced by :meth:`Planner.choose_scan_path` and consumed by
+    :func:`~repro.db.sql.operators.lower_select_plan`, which lowers it to
+    an :class:`~repro.db.sql.operators.IndexRangeScan`.  Bounds are kept
+    as expressions (literals or bound parameters) and resolved at operator
+    ``open()`` time; ``None`` bounds are open ends.  With ``ordered`` set
+    the scan walks the whole index in order and the Sort operator is
+    eliminated from the lowered tree.
+    """
+
+    column: str
+    low: Optional[ast.Expression] = None
+    high: Optional[ast.Expression] = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+    #: Scan emits rows in index order (value asc/desc, unknowns last), so
+    #: the lowering skips the Sort operator.
+    ordered: bool = False
+    descending: bool = False
+    #: Cost-model row estimate for the scan's output (EXPLAIN ANALYZE
+    #: renders it as ``est=N`` next to the actual row count).
+    est_rows: int = 0
+
+
+#: Cost-model constants (unitless, relative to one sequentially scanned row).
+#: An index probe fetches rows point-wise through the buffer pool, which the
+#: model prices at a multiple of a sequential read; the comparison-based Sort
+#: pays ``log2`` per row; a nested-loop join evaluates its predicate per
+#: candidate pair, priced at a multiple of a hash probe — which is what makes
+#: :class:`~repro.db.sql.operators.HashJoin` win whenever equi-join keys are
+#: available (``1.5*R + L <= 4*L*R`` for all ``L, R >= 1``).
+COST_INDEX_FETCH = 2.0
+COST_HASH_BUILD = 1.5
+COST_PREDICATE_EVAL = 4.0
+
+
+def choose_join_strategy(
+    left_est: int, right_est: int, *, equi_keys: bool
+) -> str:
+    """Pick ``"hash"`` or ``"nested"`` for one join step by estimated cost."""
+    if not equi_keys:
+        return "nested"
+    left = max(1, left_est)
+    right = max(1, right_est)
+    hash_cost = COST_HASH_BUILD * right + left
+    nested_cost = COST_PREDICATE_EVAL * left * right
+    return "hash" if hash_cost <= nested_cost else "nested"
 
 
 @dataclass(frozen=True)
@@ -175,9 +243,27 @@ class Planner:
         (:func:`repro.db.acquisition.choose_sample_size`) weighs the
         crowd's per-value cost against the predictor's and caps the crowd
         sample by the session's remaining budget.
+
+        The cost model also runs here (statistics are runtime state, so
+        its choices must not be cached with the logical plan): vanilla
+        scans — no resolver, no crowd, no predict, no joins, no equality
+        index probe already chosen — may be upgraded to an
+        :class:`~repro.db.sql.operators.IndexRangeScan` or an ordered
+        index walk via :meth:`choose_scan_path`.
         """
         from repro.db.sql.operators import lower_select_plan
 
+        access_path = None
+        if (
+            missing_resolver is None
+            and crowd is None
+            and predict is None
+            and plan.from_crowd is None
+            and plan.scan is not None
+            and not plan.joins
+            and not plan.scan.uses_index
+        ):
+            access_path = self.choose_scan_path(plan)
         return lower_select_plan(
             plan,
             self._catalog,
@@ -186,7 +272,257 @@ class Planner:
             predict=predict,
             lock=lock,
             hash_joins=hash_joins,
+            access_path=access_path,
         )
+
+    def choose_scan_path(self, plan: SelectPlan) -> Optional[AccessPath]:
+        """Cost out index alternatives for the driving scan of *plan*.
+
+        Returns None to keep the sequential scan, otherwise an
+        :class:`AccessPath`.  The caller guarantees a vanilla plan (single
+        table, no acquisition machinery); this method only weighs costs:
+
+        * a range predicate over an ordered-indexed column wins when
+          ``log2(N) + est * COST_INDEX_FETCH < N`` with *est* from the
+          table's statistics (histogram or min/max interpolation);
+        * a single-column ORDER BY over an indexed column wins when the
+          ordered walk (``N * COST_INDEX_FETCH``) beats scan-plus-sort
+          (``N * (1 + log2 N)``), i.e. for every table of more than one
+          row — the walk also composes with an ascending range on the
+          same column.
+
+        The full WHERE clause is always kept as a residual filter, so a
+        chosen index path only ever has to produce a *superset* of the
+        matching rows (it produces exactly the matching ones, but
+        correctness does not depend on it).
+        """
+        assert plan.scan is not None
+        storage = self._catalog.table(plan.scan.table)
+        alias = plan.scan.alias
+        table_rows = len(storage)
+
+        best: Optional[AccessPath] = None
+        best_cost = float(max(table_rows, 1))  # cost of the sequential scan
+        for column, bounds in self._range_candidates(plan.where, alias).items():
+            if storage.index_on(column) is None:
+                continue
+            resolved = self._resolve_bounds(bounds)
+            if resolved is None:
+                continue
+            low_value, high_value = resolved
+            est = self._estimate_range_rows(
+                storage, column, table_rows, low_value, high_value
+            )
+            cost = math.log2(table_rows + 1) + est * COST_INDEX_FETCH
+            if cost < best_cost:
+                best_cost = cost
+                low_expr, high_expr, low_inc, high_inc = bounds
+                best = AccessPath(
+                    column=column,
+                    low=low_expr,
+                    high=high_expr,
+                    low_inclusive=low_inc,
+                    high_inclusive=high_inc,
+                    est_rows=est,
+                )
+
+        order = self._order_elimination_target(plan, alias, storage)
+        if order is not None:
+            column, ascending = order
+            if best is not None:
+                # An index range emits rows in (value, rowid) ascending
+                # order already; a matching ascending ORDER BY rides along
+                # for free.  Anything else keeps the explicit Sort.
+                if column == best.column and ascending:
+                    best = AccessPath(
+                        column=best.column,
+                        low=best.low,
+                        high=best.high,
+                        low_inclusive=best.low_inclusive,
+                        high_inclusive=best.high_inclusive,
+                        ordered=True,
+                        est_rows=best.est_rows,
+                    )
+            else:
+                walk_cost = table_rows * COST_INDEX_FETCH
+                sort_cost = table_rows * (1.0 + math.log2(table_rows + 1))
+                if walk_cost < sort_cost:
+                    best = AccessPath(
+                        column=column,
+                        ordered=True,
+                        descending=not ascending,
+                        est_rows=table_rows,
+                    )
+        return best
+
+    # -- cost-model helpers ----------------------------------------------------
+
+    @staticmethod
+    def _conjuncts(expr: Optional[ast.Expression]) -> list[ast.Expression]:
+        """Flatten the top-level AND chain of a WHERE clause."""
+        if expr is None:
+            return []
+        if isinstance(expr, ast.BinaryOp) and expr.op.upper() == "AND":
+            return Planner._conjuncts(expr.left) + Planner._conjuncts(expr.right)
+        return [expr]
+
+    @staticmethod
+    def _range_candidates(
+        where: Optional[ast.Expression], alias: str
+    ) -> dict[str, tuple[
+        Optional[ast.Expression], Optional[ast.Expression], bool, bool
+    ]]:
+        """Per-column ``(low, high, low_inclusive, high_inclusive)`` bounds.
+
+        Collected from top-level conjuncts of the forms ``col <op> bound``,
+        ``bound <op> col`` (op one of ``< <= > >=``) and ``col BETWEEN low
+        AND high``, where *bound* is a literal or parameter.  The first
+        bound seen per side wins; tighter duplicates are left to the
+        residual filter.
+        """
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        alias = alias.lower()
+        candidates: dict[
+            str,
+            tuple[Optional[ast.Expression], Optional[ast.Expression], bool, bool],
+        ] = {}
+
+        def column_of(expr: ast.Expression) -> Optional[str]:
+            if not isinstance(expr, ast.ColumnRef):
+                return None
+            if expr.table is not None and expr.table.lower() != alias:
+                return None
+            return expr.name
+
+        def merge(
+            column: str,
+            low: Optional[ast.Expression],
+            high: Optional[ast.Expression],
+            low_inc: bool,
+            high_inc: bool,
+        ) -> None:
+            c_low, c_high, c_low_inc, c_high_inc = candidates.get(
+                column, (None, None, True, True)
+            )
+            if low is not None and c_low is None:
+                c_low, c_low_inc = low, low_inc
+            if high is not None and c_high is None:
+                c_high, c_high_inc = high, high_inc
+            candidates[column] = (c_low, c_high, c_low_inc, c_high_inc)
+
+        for conjunct in Planner._conjuncts(where):
+            if isinstance(conjunct, ast.Between) and not conjunct.negated:
+                column = column_of(conjunct.operand)
+                if column is not None and all(
+                    isinstance(b, (ast.Literal, ast.Parameter))
+                    for b in (conjunct.low, conjunct.high)
+                ):
+                    merge(column, conjunct.low, conjunct.high, True, True)
+                continue
+            if not isinstance(conjunct, ast.BinaryOp):
+                continue
+            op = conjunct.op
+            if op not in flipped:
+                continue
+            left, right = conjunct.left, conjunct.right
+            if isinstance(left, (ast.Literal, ast.Parameter)):
+                left, right, op = right, left, flipped[op]
+            column = column_of(left)
+            if column is None or not isinstance(
+                right, (ast.Literal, ast.Parameter)
+            ):
+                continue
+            if op in ("<", "<="):
+                merge(column, None, right, True, op == "<=")
+            else:
+                merge(column, right, None, op == ">=", True)
+        return candidates
+
+    @staticmethod
+    def _resolve_bounds(
+        bounds: tuple[
+            Optional[ast.Expression], Optional[ast.Expression], bool, bool
+        ],
+    ) -> Optional[tuple[Any, Any]]:
+        """Evaluate bound expressions to values; None rejects the candidate.
+
+        A NULL/MISSING bound makes the comparison unknown for every row
+        (the residual filter drops everything), so the index path is not
+        worth choosing — and must not be mistaken for an open end.
+        """
+        low_expr, high_expr, _low_inc, _high_inc = bounds
+        values: list[Any] = []
+        for expr in (low_expr, high_expr):
+            if expr is None:
+                values.append(None)
+                continue
+            try:
+                value = evaluate(expr, RowContext())
+            except Exception:
+                return None
+            if is_absent(value):
+                return None
+            values.append(value)
+        return values[0], values[1]
+
+    @staticmethod
+    def _estimate_range_rows(
+        storage, column: str, table_rows: int, low: Any, high: Any
+    ) -> int:
+        """Statistics-backed match estimate for a range over *column*."""
+
+        def numeric(value: Any) -> Optional[float]:
+            if value is None or not isinstance(value, (int, float)):
+                return None
+            return float(value)
+
+        low_num, high_num = numeric(low), numeric(high)
+        if (low is not None and low_num is None) or (
+            high is not None and high_num is None
+        ):
+            # Non-numeric bounds: no histogram support, flat default.
+            from repro.db.stats import TableStats
+
+            fraction = TableStats.DEFAULT_RANGE_SELECTIVITY
+            return max(1, round(table_rows * fraction)) if table_rows else 0
+        return storage.stats.estimate_range(column, table_rows, low_num, high_num)
+
+    def _order_elimination_target(
+        self, plan: SelectPlan, alias: str, storage
+    ) -> Optional[tuple[str, bool]]:
+        """The ``(column, ascending)`` an ordered index walk could serve.
+
+        Requires a plain single-key ORDER BY over an indexed base-table
+        column.  Aggregates and DISTINCT keep the Sort: both change which
+        row context carries a given output row, so index order is not
+        guaranteed to match what Sort would compute.  An output alias
+        shadowing the column name also keeps the Sort (Sort resolves the
+        alias, the index would resolve the column).
+        """
+        if plan.aggregate is not None or plan.distinct:
+            return None
+        if len(plan.order_by) != 1:
+            return None
+        item = plan.order_by[0]
+        expr = item.expression
+        if not isinstance(expr, ast.ColumnRef):
+            return None
+        if expr.table is not None and expr.table.lower() != alias.lower():
+            return None
+        column = expr.name
+        if storage.index_on(column) is None:
+            return None
+        for output in plan.output:
+            if output.name != column:
+                continue
+            out_expr = output.expression
+            if not (
+                isinstance(out_expr, ast.ColumnRef)
+                and out_expr.name == column
+                and (out_expr.table is None or out_expr.table.lower() == alias.lower())
+            ):
+                return None
+        return column, item.ascending
 
     def plan_select(self, statement: ast.SelectStatement) -> SelectPlan:
         """Validate *statement* against the catalog and produce a plan."""

@@ -1,18 +1,28 @@
-"""In-memory row storage with rowids, hash indexes and MISSING accounting.
+"""Row storage with rowids, ordered indexes and MISSING accounting.
 
-The storage layer is deliberately simple (Python dicts), because the
-experiments operate on at most tens of thousands of tuples; what matters
-for the paper's reproduction is the *interface*: scans expose which rows
-still carry :data:`~repro.db.types.MISSING` values so that the crowd layer
-and the schema-expansion layer can target exactly those.
+Rows live behind a ``MutableMapping[rowid, Row]``: a plain dict for
+in-memory databases, or a :class:`~repro.db.pager.PagedRowMap` that spills
+rows to fixed-size pages behind a bounded buffer pool for durable ones —
+same interface, so every layer above (operators, crowd fills, schema
+expansion) is storage-agnostic.  What matters for the paper's reproduction
+is that interface: scans expose which rows still carry
+:data:`~repro.db.types.MISSING` values so that the crowd layer and the
+schema-expansion layer can target exactly those.
+
+Secondary indexes are :class:`~repro.db.indexes.OrderedIndex` runs —
+one index kind serving equality, range predicates and sort elimination —
+and every table maintains :class:`~repro.db.stats.TableStats` on the
+write path for the cost-based planner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, MutableMapping
 
+from repro.db.indexes import OrderedIndex
 from repro.db.schema import AttributeKind, Column, TableSchema
+from repro.db.stats import TableStats
 from repro.db.types import MISSING, is_missing
 from repro.errors import ExecutionError, IntegrityError, UnknownColumnError
 
@@ -39,46 +49,22 @@ class ValueProvenance:
 STORED_PROVENANCE = ValueProvenance()
 
 
-class HashIndex:
-    """Equality index mapping a column value to the set of matching rowids."""
-
-    def __init__(self, column: str) -> None:
-        self.column = column
-        self._buckets: dict[Any, set[int]] = {}
-
-    def add(self, rowid: int, value: Any) -> None:
-        """Index *rowid* under *value* (MISSING/NULL are not indexed)."""
-        if value is None or is_missing(value):
-            return
-        self._buckets.setdefault(value, set()).add(rowid)
-
-    def remove(self, rowid: int, value: Any) -> None:
-        """Remove *rowid* from the bucket of *value* if present."""
-        if value is None or is_missing(value):
-            return
-        bucket = self._buckets.get(value)
-        if bucket is not None:
-            bucket.discard(rowid)
-            if not bucket:
-                del self._buckets[value]
-
-    def lookup(self, value: Any) -> frozenset[int]:
-        """Return the rowids whose indexed column equals *value*."""
-        return frozenset(self._buckets.get(value, frozenset()))
-
-    def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._buckets.values())
-
-
 class TableStorage:
-    """Row store for a single table."""
+    """Row store for a single table.
 
-    def __init__(self, schema: TableSchema) -> None:
+    *row_map* injects the physical row container: omitted, rows live in a
+    plain dict; durable catalogs pass a
+    :class:`~repro.db.pager.PagedRowMap` so rows spill to pages instead.
+    """
+
+    def __init__(self, schema: TableSchema, *, row_map: MutableMapping[int, Row] | None = None) -> None:
         self.schema = schema
-        self._rows: dict[int, Row] = {}
+        self._rows: MutableMapping[int, Row] = row_map if row_map is not None else {}
         self._next_rowid = 1
-        self._indexes: dict[str, HashIndex] = {}
-        self._pk_index: HashIndex | None = None
+        self._indexes: dict[str, OrderedIndex] = {}
+        self._pk_index: OrderedIndex | None = None
+        #: Write-maintained statistics feeding the cost-based planner.
+        self.stats = TableStats()
         #: column -> {rowid -> ValueProvenance} for cells written by the
         #: acquisition layers; cells without an entry are "stored".
         self._provenance: dict[str, dict[int, ValueProvenance]] = {}
@@ -107,23 +93,22 @@ class TableStorage:
 
     # -- index management ---------------------------------------------------
 
-    def create_index(self, column_name: str) -> HashIndex:
-        """Create (or return an existing) hash index on *column_name*."""
+    def create_index(self, column_name: str) -> OrderedIndex:
+        """Create (or return an existing) ordered index on *column_name*."""
         key = column_name.lower()
         if key not in self.schema:
             raise UnknownColumnError(column_name, self.schema.name)
         if key in self._indexes:
             return self._indexes[key]
-        index = HashIndex(key)
-        for rowid, row in self._rows.items():
-            index.add(rowid, row.get(key))
+        index = OrderedIndex(key)
+        index.build((rowid, row.get(key)) for rowid, row in self._rows.items())
         self._indexes[key] = index
         if self.journal is not None:
             self.journal.index_created(key)
         self._notify_schema_change()
         return index
 
-    def index_on(self, column_name: str) -> HashIndex | None:
+    def index_on(self, column_name: str) -> OrderedIndex | None:
         """Return the index on *column_name* if one exists."""
         return self._indexes.get(column_name.lower())
 
@@ -152,6 +137,7 @@ class TableStorage:
         self._rows[rowid] = row
         for index in self._indexes.values():
             index.add(rowid, row.get(index.column))
+        self.stats.observe_row(row)
         if self.journal is not None and not self._suppress_journal:
             self.journal.row_inserted(rowid, row)
         return rowid
@@ -195,6 +181,9 @@ class TableStorage:
                 index.remove(rowid, existing.get(index.column))
             index.add(rowid, row.get(index.column))
         self._rows[rowid] = row
+        if existing is not None:
+            self.stats.forget_row()
+        self.stats.observe_row(row)
         self.advance_rowid(rowid + 1)
 
     def set_provenance(
@@ -231,6 +220,7 @@ class TableStorage:
                 if self.schema.column(name).kind is AttributeKind.PERCEPTUAL:
                     self.on_cell_invalidated(name, rowid)
         del self._rows[rowid]
+        self.stats.forget_row()
         if self.journal is not None and not self._suppress_journal:
             self.journal.row_deleted(rowid)
 
@@ -253,6 +243,12 @@ class TableStorage:
                 index.remove(rowid, row.get(column.name))
                 index.add(rowid, coerced)
             row[column.name] = coerced
+            # Write the row back column by column: a no-op for the
+            # in-memory dict (same object), but the paged row map only
+            # persists on assignment — and per-column write-back keeps
+            # the partial-failure semantics identical in both stores.
+            self._rows[rowid] = row
+            self.stats.observe_value(column.name, coerced)
             entries = self._provenance.get(column.name)
             if entries is not None:
                 entries.pop(rowid, None)
@@ -271,16 +267,20 @@ class TableStorage:
         """Yield ``(rowid, row)`` pairs in insertion order."""
         yield from self._rows.items()
 
-    def snapshot(self) -> list[tuple[int, Row]]:
-        """Return a point-in-time list of ``(rowid, row)`` pairs.
+    def snapshot(self) -> Iterable[tuple[int, Row]]:
+        """Return a point-in-time iterable of ``(rowid, row)`` pairs.
 
-        The list itself is a snapshot (later inserts/deletes do not change
-        it) but the row dictionaries are the *live* rows — callers that
-        evaluate outside the catalog lock must copy each row before use.
-        This is the scan operators' access path: the O(n) pointer copy
-        happens under the lock, the per-row ``dict`` copies happen lazily
-        as rows are pulled, so a LIMIT can stop them early.
+        The *membership* is a snapshot (later inserts/deletes do not
+        change it) while rows materialize lazily: the in-memory store
+        returns a list of live row references that scan operators copy as
+        they pull; the paged store captures its directory under the lock
+        and decodes rows page-by-page as they are pulled — either way a
+        LIMIT stops the per-row work early, and a million-row table is
+        never materialized whole.
         """
+        lazy = getattr(self._rows, "lazy_snapshot", None)
+        if lazy is not None:
+            return lazy()
         return list(self._rows.items())
 
     def rows(self) -> list[Row]:
@@ -298,6 +298,12 @@ class TableStorage:
     def __len__(self) -> int:
         return len(self._rows)
 
+    # -- statistics ------------------------------------------------------------
+
+    def analyze(self) -> None:
+        """Rebuild this table's planner statistics (with histograms)."""
+        self.stats.analyze(row for _rowid, row in self._rows.items())
+
     # -- schema evolution -----------------------------------------------------
 
     def add_column(self, column: Column, fill_value: Any = MISSING) -> None:
@@ -309,8 +315,14 @@ class TableStorage:
         """
         self.schema.add_column(column)
         value = column.coerce(fill_value) if not is_missing(fill_value) else fill_value
-        for row in self._rows.values():
-            row[column.name] = value
+        add_fill = getattr(self._rows, "add_column_fill", None)
+        if add_fill is not None:
+            # Paged rows: record a decode-time fill instead of rewriting
+            # every stored record — O(1) regardless of table size.
+            add_fill(column.name, value)
+        else:
+            for row in self._rows.values():
+                row[column.name] = value
         if self.journal is not None and not self._suppress_journal:
             self.journal.column_added(column, value)
         self._notify_schema_change()

@@ -60,6 +60,34 @@ def is_absent(value: Any) -> bool:
     return value is None or isinstance(value, Missing)
 
 
+#: Rank classes of :func:`sort_rank`: numeric < text < other < unknown.
+_RANK_NUMERIC = 0
+_RANK_TEXT = 1
+_RANK_OTHER = 2
+_RANK_UNKNOWN = 3
+
+
+def sort_rank(value: Any) -> tuple[int, Any]:
+    """Total-order sort key over heterogeneous SQL values.
+
+    This is the *single* definition of the engine's value ordering: the
+    ``Sort`` operator's ``_ComparableValue`` wrapper and the ordered
+    secondary index both rank values through it, which is what guarantees
+    that an index-backed ORDER BY and an explicit sort agree row-for-row.
+    Values rank numeric (bools included) < text < other; ``None`` and
+    :data:`MISSING` rank **last** (NULLS LAST).
+    """
+    if value is None or is_missing(value):
+        return (_RANK_UNKNOWN, 0)
+    if isinstance(value, bool):
+        return (_RANK_NUMERIC, int(value))
+    if isinstance(value, (int, float)):
+        return (_RANK_NUMERIC, float(value))
+    if isinstance(value, str):
+        return (_RANK_TEXT, value)
+    return (_RANK_OTHER, str(value))
+
+
 class ColumnType(enum.Enum):
     """Supported column types."""
 

@@ -75,6 +75,9 @@ class ServerConfig:
     path: Any = None
     synchronous: str | None = None
     checkpoint_interval: int | None = None
+    #: Buffer-pool capacity of the paged row store (``None`` keeps the
+    #: engine default, ``0`` disables paging); durable databases only.
+    buffer_pool_pages: int | None = None
     #: Hard cap on concurrently executing statements (admission control).
     max_inflight: int = 64
     #: Worker threads running blocking engine calls.
@@ -222,6 +225,8 @@ class ReproServer:
                 kwargs["synchronous"] = config.synchronous
             if config.checkpoint_interval is not None:
                 kwargs["checkpoint_interval"] = config.checkpoint_interval
+            if config.buffer_pool_pages is not None:
+                kwargs["buffer_pool_pages"] = config.buffer_pool_pages
             self._root = repro.connect(**kwargs)
         else:
             self._root = repro.connect()

@@ -1,0 +1,135 @@
+"""Unit tests for the table statistics layer (repro.db.stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.stats import HISTOGRAM_BUCKETS, KMV_K, ColumnStats, TableStats
+from repro.db.types import MISSING
+
+
+class TestColumnStats:
+    def test_min_max_track_numerics_only(self):
+        stats = ColumnStats()
+        for value in (5, 2.5, "text", None, MISSING, True, 9):
+            stats.observe(value)
+        assert stats.min_numeric == 1.0  # True counts as 1
+        assert stats.max_numeric == 9.0
+        assert stats.non_null == 5  # None and MISSING are absent
+
+    def test_ndv_is_exact_below_sketch_capacity(self):
+        stats = ColumnStats()
+        for value in range(50):
+            stats.observe(value)
+            stats.observe(value)  # duplicates must not inflate
+        assert stats.ndv == 50
+
+    def test_ndv_estimates_large_cardinalities(self):
+        stats = ColumnStats()
+        n = 20_000
+        for value in range(n):
+            stats.observe(value)
+        assert len(stats._kmv) == KMV_K
+        assert 0.7 * n <= stats.ndv <= 1.3 * n  # ~9% expected error
+
+    def test_histogram_requires_numeric_spread(self):
+        stats = ColumnStats()
+        stats.observe(7)
+        stats.build_histogram([7])
+        assert stats.histogram is None  # high <= low: no buckets
+        spread = ColumnStats()
+        for value in range(100):
+            spread.observe(value)
+        spread.build_histogram(range(100))
+        assert len(spread.histogram) == HISTOGRAM_BUCKETS
+        assert sum(spread.histogram) == 100
+
+    def test_range_fraction_without_stats_is_none(self):
+        assert ColumnStats().range_fraction(0, 10) is None
+
+    def test_range_fraction_linear_interpolation(self):
+        stats = ColumnStats()
+        stats.observe(0)
+        stats.observe(100)
+        assert stats.range_fraction(0, 50) == pytest.approx(0.5)
+        assert stats.range_fraction(200, 300) == 0.0
+        assert stats.range_fraction(None, None) == pytest.approx(1.0)
+
+    def test_range_fraction_histogram_beats_interpolation_on_skew(self):
+        stats = ColumnStats()
+        values = [0] * 99 + [100]
+        for value in values:
+            stats.observe(value)
+        stats.build_histogram(values)
+        # 99% of values sit in the first bucket; interpolation would say ~10%.
+        assert stats.range_fraction(0, 10) >= 0.9
+
+    def test_state_round_trip(self):
+        stats = ColumnStats()
+        for value in range(200):
+            stats.observe(value)
+        stats.build_histogram(range(200))
+        clone = ColumnStats.from_state(stats.to_state())
+        assert clone.non_null == stats.non_null
+        assert clone.ndv == stats.ndv
+        assert clone.histogram == stats.histogram
+        assert clone.min_numeric == stats.min_numeric
+
+
+class TestTableStats:
+    def test_observe_and_forget_rows(self):
+        stats = TableStats()
+        stats.observe_row({"a": 1, "b": "x"})
+        stats.observe_row({"a": 2, "b": "y"})
+        stats.forget_row()
+        assert stats.row_count == 1
+        stats.forget_row()
+        stats.forget_row()  # never goes negative
+        assert stats.row_count == 0
+        assert stats.column("a").non_null == 2  # sketches are not shrunk
+
+    def test_estimate_equality_uses_ndv(self):
+        stats = TableStats()
+        for i in range(100):
+            stats.observe_row({"a": i % 10})
+        assert stats.estimate_equality("a", 100) == 10
+        # A column with no observations estimates the full table.
+        assert stats.estimate_equality("zzz", 100) == 100
+
+    def test_estimate_range_falls_back_to_default_selectivity(self):
+        stats = TableStats()
+        stats.observe_row({"s": "text-only"})
+        est = stats.estimate_range("s", 100, None, None)
+        assert est == round(100 * TableStats.DEFAULT_RANGE_SELECTIVITY)
+        assert stats.estimate_range("s", 0, None, None) == 0
+
+    def test_analyze_rebuilds_from_scratch(self):
+        stats = TableStats()
+        for i in range(50):
+            stats.observe_row({"a": i})
+        stats.analyze([{"a": 1}, {"a": 2}])
+        assert stats.row_count == 2
+        assert stats.column("a").non_null == 2
+
+    def test_column_summaries_shape(self):
+        stats = TableStats()
+        stats.observe_row({"a": 3, "b": "x"})
+        summaries = stats.column_summaries()
+        assert summaries["a"] == {
+            "non_null": 1,
+            "ndv": 1,
+            "min": 3.0,
+            "max": 3.0,
+            "histogram_buckets": 0,
+        }
+        assert summaries["b"]["min"] is None
+
+    def test_state_round_trip(self):
+        stats = TableStats()
+        for i in range(30):
+            stats.observe_row({"a": i, "b": f"s{i}"})
+        clone = TableStats()
+        clone.load_state(stats.to_state())
+        assert clone.row_count == 30
+        assert clone.column("a").ndv == stats.column("a").ndv
+        assert clone.estimate_range("a", 30, 0, 14) == stats.estimate_range("a", 30, 0, 14)
