@@ -979,3 +979,112 @@ def test_ablation_storage(tmp_path, report_writer, metric_writer):
             title="Ablation: paged storage (cost-based range scans + flat RSS)",
         ),
     )
+
+
+def test_ablation_worker_quality(report_writer, metric_writer):
+    """Worker-quality model: platform assignments saved at equal accuracy.
+
+    Two arms fill the same 120 perceptual cells through the engine with the
+    same mixed-reliability worker pool (a quarter of the workers flip the
+    true label 42% of the time, the rest 8%):
+
+    * **flat** — quality tracking off, a fixed 7 judgments per item
+      (the budget the adaptive arm is allowed to escalate to);
+    * **adaptive** — gold-seeded accuracy tracking plus accuracy-weighted
+      voting; each item starts at ``min_assignments`` votes and only
+      escalates while the posterior confidence sits below the target.
+
+    The adaptive arm must answer with >=1.5x fewer billable platform
+    assignments while matching (or beating) the flat arm's accuracy.
+    """
+    n_items = 120
+    truth = {i: i % 2 == 0 for i in range(1, n_items + 1)}
+    gold = {"is_comedy": {i: i % 3 == 0 for i in range(1000, 1012)}}
+    sql = "SELECT item_id, is_comedy FROM items ORDER BY item_id"
+
+    def run_arm(adaptive: bool) -> tuple[SimulatedCrowdValueSource, int, Connection]:
+        pool = WorkerPool.build(n_honest=24, n_spammers=6, seed=7)
+        rates = {w.worker_id: (0.08 if w.worker_id % 4 else 0.42) for w in pool}
+        source = SimulatedCrowdValueSource(
+            CrowdPlatform(seed=11),
+            pool,
+            truth={"is_comedy": truth},
+            seed=42,
+            items_per_hit=1,
+            judgments_per_item=7,
+            worker_error_rates=rates,
+            gold_answers=gold if adaptive else None,
+            quality=adaptive,
+        )
+        conn = Connection()
+        conn.run_statement(
+            "CREATE TABLE items (item_id INTEGER PRIMARY KEY, name TEXT)"
+        )
+        conn.executemany(
+            "INSERT INTO items (item_id, name) VALUES (?, ?)",
+            [(i, f"item-{i}") for i in range(1, n_items + 1)],
+        )
+        conn.add_perceptual_column("items", "is_comedy")
+        conn.set_value_source(source)
+        conn.set_policy(
+            conn.policy.with_overrides(
+                crowd_batch_size=20,
+                gold_fraction=0.15,
+                target_cell_confidence=0.85,
+                min_assignments=3,
+                max_assignments=7,
+            )
+        )
+        correct = sum(
+            1
+            for item_id, label in conn.execute(sql).fetchall()
+            if not is_missing(label) and bool(label) == truth[item_id]
+        )
+        return source, correct, conn
+
+    flat_source, flat_correct, flat_conn = run_arm(adaptive=False)
+    adaptive_source, adaptive_correct, adaptive_conn = run_arm(adaptive=True)
+
+    assert flat_source.total_assignments > 0
+    assert adaptive_source.total_assignments > 0
+    ratio = flat_source.total_assignments / adaptive_source.total_assignments
+    metric_writer("quality_platform_calls_ratio", ratio)
+    assert ratio >= 1.5, (
+        f"adaptive assignment sizing should cut billable platform "
+        f"assignments by >=1.5x at equal accuracy, got {ratio:.2f}x "
+        f"({flat_source.total_assignments} flat vs "
+        f"{adaptive_source.total_assignments} adaptive)"
+    )
+    assert adaptive_correct >= flat_correct, (
+        f"the savings must not cost accuracy: adaptive labelled "
+        f"{adaptive_correct}/{n_items} correctly vs flat {flat_correct}/{n_items}"
+    )
+
+    runtime_stats = adaptive_conn.catalog.acquisition_runtime().stats()
+    tracker_workers = runtime_stats.get("known_workers", 0)
+    mean_accuracy = runtime_stats.get("mean_worker_accuracy", 0.0)
+
+    report_writer(
+        "ablation_worker_quality",
+        format_table(
+            ["quantity", "flat", "adaptive"],
+            [
+                ("items labelled", n_items, n_items),
+                ("correct labels", flat_correct, adaptive_correct),
+                (
+                    "billable assignments",
+                    flat_source.total_assignments,
+                    adaptive_source.total_assignments,
+                ),
+                ("platform-calls ratio", "1.0x", f"{ratio:.2f}x"),
+                ("workers profiled", "-", tracker_workers),
+                ("mean worker accuracy", "-", f"{mean_accuracy:.3f}"),
+                (
+                    "assignments saved vs max budget",
+                    "-",
+                    runtime_stats.get("assignments_saved", 0),
+                ),
+            ],
+            title="Ablation: worker quality (adaptive sizing + weighted votes)",
+        ),
+    )

@@ -70,6 +70,11 @@ KNOWN_LOCKS: dict[tuple[str, str, str], str] = {
     ("crowd/platform.py", "CrowdPlatform", "_seed_lock"): "CrowdPlatform._seed_lock",
     ("db/connection.py", "Connection", "_lock"): "Connection._lock",
     ("db/wal.py", "WriteAheadLog", "_lock"): "WriteAheadLog._lock",
+    (
+        "crowd/worker_quality.py",
+        "WorkerQualityTracker",
+        "_lock",
+    ): "WorkerQualityTracker._lock",
 }
 
 #: Attribute-path suffixes that identify a lock regardless of the module

@@ -42,6 +42,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.crowd.worker_quality import WorkerQualityTracker
 from repro.db.types import is_missing
 
 __all__ = ["AcquisitionRuntime", "AnswerCache", "AnswerCacheStats", "AcquisitionOutcome"]
@@ -235,12 +236,23 @@ class AcquisitionOutcome:
     dispatches: int = 0
     #: Dollars spent by the dispatches this acquire issued.
     cost: float = 0.0
+    #: attribute -> rowid -> posterior cell confidence, reported by
+    #: quality-tracked dispatches (accuracy-weighted aggregation); stored
+    #: as provenance confidence so low-confidence crowd answers feed the
+    #: re-acquisition loop exactly like low-confidence predictions.
+    confidences: dict[str, dict[int, float]] = field(default_factory=dict)
+    #: Platform assignments adaptive sizing avoided versus paying
+    #: ``max_assignments`` for every settled item.
+    assignments_saved: int = 0
+    #: Mean estimated accuracy of the workers that answered this acquire's
+    #: quality-tracked dispatches (None when none ran).
+    mean_worker_accuracy: float | None = None
 
 
 class _PendingBatch:
     """One in-flight platform dispatch, joinable by concurrent acquirers."""
 
-    __slots__ = ("done", "values", "error", "skipped")
+    __slots__ = ("done", "values", "error", "skipped", "quality")
 
     def __init__(self) -> None:
         self.done = threading.Event()
@@ -250,6 +262,9 @@ class _PendingBatch:
         #: True when the owner skipped the dispatch (budget exhausted) —
         #: joiners with budget of their own should re-acquire these cells.
         self.skipped = False
+        #: Quality stats of the owning dispatch (confidences per rowid,
+        #: assignments saved, mean worker accuracy); None on flat paths.
+        self.quality: dict[str, Any] | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -308,6 +323,14 @@ class AcquisitionRuntime:
         #: Prediction batches routed through :meth:`run_prediction`.
         self.prediction_batches = 0
         self.prediction_seconds = 0.0
+        #: Catalog-wide per-worker accuracy estimates, shared by every
+        #: session dispatching through this runtime (cross-tenant, like
+        #: the answer cache).  The catalog hooks its shared runtime's
+        #: tracker to WAL journaling and warm-starts registered trackers
+        #: from recovered worker stats.
+        self.worker_quality = WorkerQualityTracker()
+        #: Assignments adaptive sizing avoided over the runtime's lifetime.
+        self.total_assignments_saved = 0
 
     # -- worker pool --------------------------------------------------------
 
@@ -419,6 +442,7 @@ class AcquisitionRuntime:
                 if dispatched:
                     outcome.dispatches += 1
                 outcome.values.setdefault(attribute, {}).update(pending.values)
+                self._merge_quality(outcome, attribute, pending)
         elif own:
             futures: list[tuple[str, _PendingBatch, Future[tuple[float, bool]]]] = []
             pool = self._executor()
@@ -451,6 +475,7 @@ class AcquisitionRuntime:
                 if dispatched:
                     outcome.dispatches += 1
                 outcome.values.setdefault(attribute, {}).update(pending.values)
+                self._merge_quality(outcome, attribute, pending)
         retry_cells: dict[str, list[tuple[int, dict[str, Any]]]] = {}
         for attribute, rowid, row, pending in joined:
             pending.done.wait()
@@ -466,6 +491,11 @@ class AcquisitionRuntime:
                 raise pending.error
             if rowid in pending.values:
                 outcome.values.setdefault(attribute, {})[rowid] = pending.values[rowid]
+                quality = pending.quality
+                if quality and rowid in quality.get("confidences", {}):
+                    outcome.confidences.setdefault(attribute, {})[rowid] = quality[
+                        "confidences"
+                    ][rowid]
             elif pending.skipped:
                 retry_cells.setdefault(attribute, []).append((rowid, row))
 
@@ -473,6 +503,7 @@ class AcquisitionRuntime:
             self.total_dispatches += outcome.dispatches
             self.total_cache_hits += outcome.cache_hits
             self.total_coalesced += outcome.coalesced
+            self.total_assignments_saved += outcome.assignments_saved
 
         if (
             retry_cells
@@ -494,9 +525,38 @@ class AcquisitionRuntime:
             outcome.coalesced += sub.coalesced
             outcome.dispatches += sub.dispatches
             outcome.cost += sub.cost
+            outcome.assignments_saved += sub.assignments_saved
             for attribute, values in sub.values.items():
                 outcome.values.setdefault(attribute, {}).update(values)
+            for attribute, confidences in sub.confidences.items():
+                outcome.confidences.setdefault(attribute, {}).update(confidences)
+            if sub.mean_worker_accuracy is not None:
+                outcome.mean_worker_accuracy = (
+                    sub.mean_worker_accuracy
+                    if outcome.mean_worker_accuracy is None
+                    else (outcome.mean_worker_accuracy + sub.mean_worker_accuracy) / 2.0
+                )
         return outcome
+
+    @staticmethod
+    def _merge_quality(
+        outcome: AcquisitionOutcome, attribute: str, pending: _PendingBatch
+    ) -> None:
+        """Fold one quality-tracked dispatch's stats into *outcome*."""
+        quality = pending.quality
+        if not quality:
+            return
+        confidences = quality.get("confidences")
+        if confidences:
+            outcome.confidences.setdefault(attribute, {}).update(confidences)
+        outcome.assignments_saved += int(quality.get("assignments_saved", 0))
+        accuracy = quality.get("mean_worker_accuracy")
+        if accuracy is not None:
+            outcome.mean_worker_accuracy = (
+                float(accuracy)
+                if outcome.mean_worker_accuracy is None
+                else (outcome.mean_worker_accuracy + float(accuracy)) / 2.0
+            )
 
     def _abandon_from(
         self,
@@ -543,8 +603,23 @@ class AcquisitionRuntime:
                 pending.values = {}
                 pending.skipped = True
                 return 0.0, False
+            quality = getattr(source, "request_values_with_quality", None)
             detailed = getattr(source, "request_values_with_cost", None)
-            if detailed is not None:
+            if quality is not None and getattr(source, "quality_enabled", False):
+                # Quality-tracked sources run adaptive assignment sizing
+                # against the runtime's catalog-wide worker tracker; the
+                # session's policy supplies the sizing knobs.
+                values, cost, quality_stats = quality(
+                    attribute,
+                    items,
+                    policy=getattr(session, "policy", None),
+                    tracker=self.worker_quality,
+                )
+                pending.quality = quality_stats or None
+                # Persist the new worker evidence (no-op without a journal
+                # hook; the catalog installs one on its shared runtime).
+                self.worker_quality.flush()
+            elif detailed is not None:
                 values, cost = detailed(attribute, items)
             elif getattr(source, "total_cost", None) is not None:
                 # Legacy cost observation (total_cost delta) is only exact
@@ -609,8 +684,11 @@ class AcquisitionRuntime:
                 "in_flight": len(self._in_flight),
                 "prediction_batches": self.prediction_batches,
                 "prediction_seconds": self.prediction_seconds,
+                "assignments_saved": self.total_assignments_saved,
             }
         counters["cache"] = self.cache.stats()
+        counters["known_workers"] = self.worker_quality.n_workers
+        counters["mean_worker_accuracy"] = self.worker_quality.mean_accuracy()
         return counters
 
     def __repr__(self) -> str:

@@ -21,15 +21,20 @@ workload produces the same answers at any concurrency level.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
+from dataclasses import replace
 from typing import Any, Mapping, Sequence
 
+from repro.crowd.aggregation import AccuracyWeightedVote, group_judgments
 from repro.crowd.estimation import enumeration_predicate
-from repro.crowd.hit import HITGroup, Question, make_task_items
+from repro.crowd.hit import Answer, HITGroup, Question, make_task_items
 from repro.crowd.platform import CrowdPlatform, CrowdRunResult
 from repro.crowd.quality_control import QualityControl
 from repro.crowd.worker import WorkerPool
+from repro.crowd.worker_quality import WorkerQualityTracker
+from repro.db.acquisition import AcquisitionPolicy
 from repro.db.types import is_missing
 from repro.utils.rng import RandomState, derive_seed, ensure_rng
 
@@ -108,9 +113,36 @@ class SimulatedCrowdValueSource:
         latency_seconds: float = 0.0,
         universe: Mapping[str, Sequence[Any]] | None = None,
         answers_per_batch: int | None = None,
+        worker_error_rates: Mapping[int, float] | None = None,
+        gold_answers: Mapping[str, Mapping[int, bool]] | None = None,
+        quality: bool | None = None,
     ) -> None:
         if latency_seconds < 0:
             raise ValueError("latency_seconds must be non-negative")
+        if worker_error_rates:
+            for worker_id, rate in worker_error_rates.items():
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(
+                        f"worker error rate must be in [0, 1], got {rate} "
+                        f"for worker {worker_id}"
+                    )
+            # Mixed-reliability pools for the quality ablation: a listed
+            # worker always answers and flips the true label with exactly
+            # their error rate (knowledge/claim gating off), keyed by
+            # worker identity so seeded pools stay reproducible.
+            pool = WorkerPool(
+                [
+                    replace(
+                        worker,
+                        accuracy=1.0 - worker_error_rates[worker.worker_id],
+                        knowledge_prob=1.0,
+                        claimed_knowledge_prob=1.0,
+                    )
+                    if worker.worker_id in worker_error_rates
+                    else worker
+                    for worker in pool
+                ]
+            )
         self._platform = platform
         self._pool = pool
         # Freeze generator seeds immediately: drawing from a shared
@@ -134,10 +166,25 @@ class SimulatedCrowdValueSource:
             else {}
         )
         self.answers_per_batch = answers_per_batch
+        self._gold = (
+            {attr: dict(labels) for attr, labels in gold_answers.items()}
+            if gold_answers is not None
+            else {}
+        )
+        #: Whether the runtime should route this source's dispatches
+        #: through :meth:`request_values_with_quality` (accuracy-weighted
+        #: aggregation + adaptive assignment sizing).  Defaults on when
+        #: gold answers or per-worker error rates were configured.
+        self.quality_enabled = (
+            bool(self._gold or worker_error_rates) if quality is None else bool(quality)
+        )
         self._stats_lock = threading.Lock()
         self.dispatches = 0
         self.total_cost = 0.0
         self.total_judgments = 0
+        #: Billable platform assignments completed (the unit adaptive
+        #: sizing saves; one dispatch completes many assignments).
+        self.total_assignments = 0
         self.runs: list[CrowdRunResult] = []
 
     def request_values(
@@ -207,6 +254,7 @@ class SimulatedCrowdValueSource:
             self.dispatches += 1
             self.total_cost += result.total_cost
             self.total_judgments += len(result.judgments)
+            self.total_assignments += result.assignments_completed
             self.runs.append(result)
 
         labels = result.majority_labels()
@@ -216,6 +264,191 @@ class SimulatedCrowdValueSource:
             if item_id in labels
         }
         return values, result.total_cost
+
+    def request_values_with_quality(
+        self,
+        attribute: str,
+        items: Sequence[tuple[int, dict[str, Any]]],
+        *,
+        policy: AcquisitionPolicy | None = None,
+        tracker: WorkerQualityTracker | None = None,
+    ) -> tuple[dict[int, Any], float, dict[str, Any]]:
+        """Quality-tracked batch: adaptive sizing + accuracy-weighted votes.
+
+        Instead of one dispatch at a fixed ``judgments_per_item``, the
+        batch runs in *rounds*: every item starts with the policy's
+        ``min_assignments`` judgments, accumulated judgments are
+        aggregated with :class:`~repro.crowd.aggregation.AccuracyWeightedVote`
+        (weights from *tracker*), and items whose posterior confidence
+        reaches ``target_cell_confidence`` settle immediately — only the
+        unconfident remainder buys further judgments, up to
+        ``max_assignments``.  Each round is padded with seeded gold items
+        (``gold_fraction``) whose known answers feed the tracker; settled
+        labels feed it agreement evidence.
+
+        Returns ``(values, cost, stats)`` where ``stats`` carries the
+        per-rowid posterior ``confidences``, the billable ``assignments``
+        completed, ``assignments_saved`` versus paying ``max_assignments``
+        for every item, the ``rounds`` dispatched, ``gold_injected`` and
+        the ``mean_worker_accuracy`` over the workers seen.
+        """
+        predicate = enumeration_predicate(attribute)
+        if predicate is not None:
+            values, cost = self._enumerate_batch(predicate, items)
+            return values, cost, {}
+        if policy is None:
+            policy = AcquisitionPolicy()
+        rowid_to_item: dict[int, int] = {}
+        for rowid, row in items:
+            key = row.get(self.key_column)
+            if key is None or is_missing(key):
+                continue
+            rowid_to_item[rowid] = int(key)
+        if not rowid_to_item:
+            return {}, 0.0, {}
+
+        item_ids = sorted(set(rowid_to_item.values()))
+        truth = self._truth.get(attribute, {})
+        # Gold items must be disjoint from the batch: an item cannot both
+        # be asked for real and grade the workers answering it.
+        gold_pool = {
+            item_id: bool(label)
+            for item_id, label in self._gold.get(attribute, {}).items()
+            if item_id not in set(item_ids)
+        }
+        min_a = policy.min_assignments
+        max_a = policy.max_assignments
+        target = policy.target_cell_confidence
+
+        pending = list(item_ids)
+        accumulated: list[Any] = []  # non-gold judgments across rounds
+        labels: dict[int, bool] = {}
+        confidences: dict[int, float] = {}
+        settled_at: dict[int, int] = {}
+        worker_ids: set[int] = set()
+        cost = 0.0
+        assignments = 0
+        gold_injected = 0
+        given = 0
+        rounds = 0
+        while pending:
+            step = min_a if given == 0 else min(2, max_a - given)
+            gold_ids: list[int] = []
+            if gold_pool and policy.gold_fraction > 0:
+                n_gold = min(len(gold_pool), math.ceil(policy.gold_fraction * len(pending)))
+                ordered = sorted(gold_pool)
+                # Rotate through the gold pool round-by-round so repeated
+                # rounds grade workers on fresh gold items.
+                offset = (rounds * n_gold) % len(ordered)
+                gold_ids = [ordered[(offset + i) % len(ordered)] for i in range(n_gold)]
+            group = HITGroup(
+                question=Question(
+                    attribute=attribute,
+                    prompt=self._prompt,
+                    allow_dont_know=self.allow_dont_know,
+                ),
+                items=make_task_items(
+                    sorted(pending) + gold_ids,
+                    gold_answers={
+                        gold_id: Answer.from_bool(gold_pool[gold_id])
+                        for gold_id in gold_ids
+                    },
+                ),
+                judgments_per_item=step,
+                items_per_hit=self.items_per_hit,
+                payment_per_hit=self.payment_per_hit,
+            )
+            # Like the flat path, the child seed hashes request identity —
+            # here including the round's judgment offset, so escalation
+            # rounds draw fresh answers while staying order-independent.
+            dispatch_seed = (
+                derive_seed(self._seed, "quality", attribute, tuple(pending), given)
+                if self._seed is not None
+                else None
+            )
+            if self.latency_seconds:
+                time.sleep(self.latency_seconds)
+            result = self._platform.run_group(
+                group,
+                self._pool,
+                quality_control=self._quality_control,
+                truth=truth,
+                seed=dispatch_seed,
+            )
+            rounds += 1
+            given += step
+            cost += result.total_cost
+            assignments += result.assignments_completed
+            gold_injected += len(gold_ids)
+            with self._stats_lock:
+                self.dispatches += 1
+                self.total_cost += result.total_cost
+                self.total_judgments += len(result.judgments)
+                self.total_assignments += result.assignments_completed
+                self.runs.append(result)
+
+            gold_truth = {gold_id: gold_pool[gold_id] for gold_id in gold_ids}
+            for judgment in result.judgments:
+                worker_ids.add(judgment.worker_id)
+                if judgment.is_gold:
+                    expected = gold_truth.get(judgment.item_id)
+                    if tracker is not None and expected is not None and judgment.informative:
+                        tracker.observe_gold(
+                            judgment.worker_id,
+                            (judgment.answer is Answer.POSITIVE) == expected,
+                        )
+                else:
+                    accumulated.append(judgment)
+
+            vote = AccuracyWeightedVote(tracker) if tracker is not None else AccuracyWeightedVote()
+            by_item = group_judgments(accumulated)
+            final_round = given >= max_a
+            still_pending: list[int] = []
+            for item_id in pending:
+                outcome = vote.aggregate_item(item_id, by_item.get(item_id, []))
+                if outcome.classified and (outcome.confidence >= target or final_round):
+                    labels[item_id] = bool(outcome.label)
+                    confidences[item_id] = outcome.confidence
+                    settled_at[item_id] = given
+                    if tracker is not None:
+                        for judgment in by_item.get(item_id, []):
+                            if judgment.informative:
+                                tracker.observe_agreement(
+                                    judgment.worker_id,
+                                    (judgment.answer is Answer.POSITIVE) == outcome.label,
+                                )
+                elif final_round:
+                    # No informative quorum / dead tie at the cap: the cell
+                    # stays MISSING, but its (low) confidence is reported so
+                    # re-acquisition can pick it up later.
+                    confidences[item_id] = outcome.confidence
+                else:
+                    still_pending.append(item_id)
+            pending = [] if final_round else still_pending
+
+        saved = sum(max_a - settled for settled in settled_at.values())
+        values = {
+            rowid: labels[item_id]
+            for rowid, item_id in rowid_to_item.items()
+            if item_id in labels
+        }
+        stats: dict[str, Any] = {
+            "confidences": {
+                rowid: confidences[item_id]
+                for rowid, item_id in rowid_to_item.items()
+                if item_id in confidences
+            },
+            "assignments": assignments,
+            "assignments_saved": saved,
+            "rounds": rounds,
+            "gold_injected": gold_injected,
+            "mean_worker_accuracy": (
+                tracker.mean_accuracy(worker_ids)
+                if tracker is not None and worker_ids
+                else None
+            ),
+        }
+        return values, cost, stats
 
     # -- enumeration mode ----------------------------------------------------
 

@@ -100,6 +100,20 @@ class AcquisitionPolicy:
         considered exhausted.
     max_enum_batches:
         Hard cap on HIT batches per enumeration (backstop).
+    gold_fraction:
+        Fraction of each quality-tracked HIT batch padded with seeded
+        *gold* items (known answers) used to estimate per-worker accuracy
+        (see :mod:`repro.crowd.worker_quality`).  0 disables gold
+        injection; agreement evidence still accrues.
+    target_cell_confidence:
+        Adaptive assignment sizing stops buying judgments for an item once
+        its accuracy-weighted posterior confidence reaches this threshold.
+    min_assignments, max_assignments:
+        Judgments-per-item bounds of adaptive sizing: every item starts
+        with ``min_assignments`` judgments, and unconfident items buy more
+        in later rounds up to ``max_assignments``.  Only quality-capable
+        value sources (``request_values_with_quality``) consult these; the
+        flat path keeps its source-configured ``judgments_per_item``.
     """
 
     sample_fraction: float = 0.25
@@ -117,6 +131,10 @@ class AcquisitionPolicy:
     completeness_target: float | None = None
     enum_dry_batches: int = 3
     max_enum_batches: int = 256
+    gold_fraction: float = 0.1
+    target_cell_confidence: float = 0.9
+    min_assignments: int = 3
+    max_assignments: int = 7
 
     def __post_init__(self) -> None:
         if not 0.0 < self.sample_fraction <= 1.0:
@@ -147,6 +165,14 @@ class AcquisitionPolicy:
             raise ExecutionError("enum_dry_batches must be positive")
         if self.max_enum_batches <= 0:
             raise ExecutionError("max_enum_batches must be positive")
+        if not 0.0 <= self.gold_fraction <= 1.0:
+            raise ExecutionError("gold_fraction must be in [0, 1]")
+        if not 0.0 <= self.target_cell_confidence <= 1.0:
+            raise ExecutionError("target_cell_confidence must be in [0, 1]")
+        if self.min_assignments < 1:
+            raise ExecutionError("min_assignments must be at least 1")
+        if self.max_assignments < self.min_assignments:
+            raise ExecutionError("max_assignments must be >= min_assignments")
 
     def with_overrides(self, **changes: Any) -> "AcquisitionPolicy":
         """Return a copy of the policy with the given fields replaced."""

@@ -54,6 +54,12 @@ class Catalog:
         #: Journaled on durable catalogs so a restarted process replays
         #: repeat enumerations from the answer cache at zero platform calls.
         self._enum_answers: dict[tuple[str, int], list[Any]] = {}
+        #: Per-worker accuracy evidence: ``worker_id -> (correct, incorrect)``
+        #: absolute observation totals.  Journaled on durable catalogs and
+        #: used to warm-start the worker-quality tracker of every runtime
+        #: that registers, so a restarted process weights votes with
+        #: everything it already paid to learn about its workers.
+        self._worker_stats: dict[int, tuple[float, float]] = {}
         #: Builds the storage of newly created tables.  Durable catalogs
         #: install a factory that injects a paged row map (the shared
         #: buffer pool of :class:`~repro.db.pager.Pager`); None means
@@ -79,6 +85,10 @@ class Catalog:
         with self.lock:
             if self._runtime is None:
                 self._runtime = AcquisitionRuntime(**knobs)
+                # Only the catalog-shared runtime journals worker evidence:
+                # session-private runtimes are read-only consumers of the
+                # persisted stats (they warm-start on register_runtime).
+                self._runtime.worker_quality.journal = self.record_worker_stats
                 self.register_runtime(self._runtime)
             return self._runtime
 
@@ -102,6 +112,10 @@ class Catalog:
             self._runtimes.add(runtime)
             for (table, column, rowid), value in self._warm_answers.items():
                 runtime.cache.put(table, column, rowid, value)
+            warm_stats = dict(self._worker_stats)
+        tracker = getattr(runtime, "worker_quality", None)
+        if tracker is not None and warm_stats:
+            tracker.load_totals(warm_stats)
 
     def set_warm_answers(self, answers: Mapping[tuple[str, str, int], Any]) -> None:
         """Install the recovered crowd answers used to warm new runtimes."""
@@ -250,6 +264,35 @@ class Catalog:
         """Snapshot of the recorded enumeration batches."""
         with self.lock:
             return {key: list(values) for key, values in self._enum_answers.items()}
+
+    def record_worker_stats(self, totals: Mapping[int, tuple[float, float]]) -> None:
+        """Store per-worker accuracy totals; journaled when durable.
+
+        *totals* carries **absolute** ``(correct, incorrect)`` observation
+        counts per worker (last write wins), which makes WAL replay
+        idempotent.  Installed as the journal hook of the catalog-shared
+        runtime's :class:`~repro.crowd.worker_quality.WorkerQualityTracker`.
+        Like :meth:`record_enum_answers`, the WAL append happens outside
+        the catalog lock — it may fsync and must never block other
+        sessions.
+        """
+        with self.lock:
+            for worker_id, (correct, incorrect) in totals.items():
+                self._worker_stats[int(worker_id)] = (float(correct), float(incorrect))
+            durability = self.durability
+        if durability is not None:
+            durability.log_worker_stats(totals)
+
+    def restore_worker_stats(self, totals: Mapping[int, tuple[float, float]]) -> None:
+        """Recovery-path setter: store replayed totals without journaling."""
+        with self.lock:
+            for worker_id, (correct, incorrect) in totals.items():
+                self._worker_stats[int(worker_id)] = (float(correct), float(incorrect))
+
+    def worker_stats(self) -> dict[int, tuple[float, float]]:
+        """Snapshot of the recorded per-worker observation totals."""
+        with self.lock:
+            return dict(self._worker_stats)
 
     def rowid_watermarks(self) -> dict[str, int]:
         """Per-table-name rowid high-water marks of *dropped* tables."""

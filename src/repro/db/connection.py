@@ -92,6 +92,8 @@ _POLICY_INT_FIELDS = frozenset(
         "answer_cache_size",
         "enum_dry_batches",
         "max_enum_batches",
+        "min_assignments",
+        "max_assignments",
     }
 )
 _POLICY_BOOL_FIELDS = frozenset({"crowd_write_back"})

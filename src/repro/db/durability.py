@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.crowd.estimation import ENUMERATION_TABLE
 from repro.db.catalog import Catalog
@@ -305,6 +305,15 @@ class DurabilityManager:
                 [decode_value(value) for value in record["values"]],
             )
             return
+        if op == "worker_stats":
+            # Absolute per-worker totals: replay is idempotent (last wins).
+            self.catalog.restore_worker_stats(
+                {
+                    int(worker_id): (float(correct), float(incorrect))
+                    for worker_id, (correct, incorrect) in record["workers"].items()
+                }
+            )
+            return
         storage = self.catalog.table(record["table"])
         if op == "insert":
             storage.restore_row(int(record["rowid"]), decode_row(record["row"]))
@@ -402,6 +411,18 @@ class DurabilityManager:
                 "attribute": attribute,
                 "batch": int(batch),
                 "values": [encode_value(value) for value in values],
+            },
+        )
+
+    def log_worker_stats(self, totals: Mapping[int, tuple[float, float]]) -> None:
+        """Journal absolute per-worker accuracy observation totals."""
+        self.append(
+            "worker_stats",
+            {
+                "workers": {
+                    str(worker_id): [float(correct), float(incorrect)]
+                    for worker_id, (correct, incorrect) in totals.items()
+                }
             },
         )
 

@@ -162,6 +162,12 @@ def catalog_state(catalog: "Catalog", *, last_lsn: int) -> dict[str, Any]:
             [attribute, batch, [encode_value(value) for value in values]]
             for (attribute, batch), values in sorted(catalog.enum_answers().items())
         ],
+        # Per-worker accuracy observation totals (same reasoning: paid-for
+        # worker knowledge must survive WAL truncation).
+        "worker_stats": [
+            [worker_id, correct, incorrect]
+            for worker_id, (correct, incorrect) in sorted(catalog.worker_stats().items())
+        ],
     }
 
 
@@ -175,6 +181,12 @@ def restore_catalog(catalog: "Catalog", state: dict[str, Any]) -> None:
         catalog.restore_enum_answers(
             attribute, int(batch), [decode_value(value) for value in values]
         )
+    worker_stats = {
+        int(worker_id): (float(correct), float(incorrect))
+        for worker_id, correct, incorrect in state.get("worker_stats", [])
+    }
+    if worker_stats:
+        catalog.restore_worker_stats(worker_stats)
 
 
 # ---------------------------------------------------------------------------

@@ -420,6 +420,8 @@ class Executor:
         durability = self._catalog.durability
         if name in ("analyze", "table_stats"):
             return self._execute_stats_pragma(statement)
+        if name == "worker_stats":
+            return self._execute_worker_stats_pragma()
         if name == "synchronous" and statement.value is None and durability is None:
             return QueryResult(columns=["synchronous"], rows=[("memory",)], rowcount=0)
         if name in (
@@ -525,6 +527,30 @@ class Executor:
                     summary["histogram_buckets"],
                 )
                 for column, summary in sorted(summaries.items())
+            ],
+            rowcount=0,
+        )
+
+    def _execute_worker_stats_pragma(self) -> QueryResult:
+        """``PRAGMA worker_stats``: per-worker accuracy evidence and estimate.
+
+        Reports the catalog's recorded ``(correct, incorrect)`` observation
+        totals together with the Beta-posterior accuracy estimate the
+        accuracy-weighted aggregator weighs votes with — the same
+        :func:`~repro.crowd.worker_quality.estimate_accuracy` function, so
+        the SQL surface can never drift from the aggregation math.  Works
+        on any database; an empty result simply means no quality-tracked
+        dispatch has run (and, when durable, none was recovered).
+        """
+        from repro.crowd.worker_quality import estimate_accuracy  # lazy: crowd imports db
+
+        return QueryResult(
+            columns=["worker_id", "correct", "incorrect", "accuracy"],
+            rows=[
+                (worker_id, correct, incorrect, estimate_accuracy(correct, incorrect))
+                for worker_id, (correct, incorrect) in sorted(
+                    self._catalog.worker_stats().items()
+                )
             ],
             rowcount=0,
         )

@@ -630,6 +630,15 @@ class CrowdFill(Operator):
         self.cache_hits = 0
         #: Cells joined onto another query's in-flight platform dispatch.
         self.coalesced = 0
+        #: Platform assignments adaptive sizing avoided (quality dispatches).
+        self.assignments_saved = 0
+        #: Mean estimated accuracy of the workers behind this operator's
+        #: quality-tracked dispatches (None when none ran).
+        self.mean_worker_accuracy: float | None = None
+        #: attribute -> rowid -> posterior confidence of quality dispatches;
+        #: written back as provenance confidence so low-confidence crowd
+        #: cells feed the re-acquisition loop.
+        self._cell_confidences: dict[str, dict[int, float]] = {}
 
     def _needs_value(self, attribute: str, rowid: int, row: dict[str, Any]) -> bool:
         """Whether this operator should crowd-source ``row[attribute]``."""
@@ -712,6 +721,15 @@ class CrowdFill(Operator):
         self.batches_dispatched += outcome.dispatches
         self.cache_hits += outcome.cache_hits
         self.coalesced += outcome.coalesced
+        self.assignments_saved += outcome.assignments_saved
+        if outcome.mean_worker_accuracy is not None:
+            self.mean_worker_accuracy = (
+                outcome.mean_worker_accuracy
+                if self.mean_worker_accuracy is None
+                else (self.mean_worker_accuracy + outcome.mean_worker_accuracy) / 2.0
+            )
+        for attribute, confidences in outcome.confidences.items():
+            self._cell_confidences.setdefault(attribute, {}).update(confidences)
         for attribute, items in requests:
             self.values_requested += len(items)
             self._apply_resolved(attribute, items, outcome.values.get(attribute, {}))
@@ -782,11 +800,17 @@ class CrowdFill(Operator):
                         continue
                     writable[rowid] = value
                 if writable:
+                    confidences = self._cell_confidences.get(attribute, {})
                     storage.fill_values(
                         attribute,
                         writable,
                         skip_deleted=True,
                         provenance=PROVENANCE_CROWD,
+                        confidences={
+                            rowid: confidences[rowid]
+                            for rowid in writable
+                            if rowid in confidences
+                        },
                     )
 
     def detail(self) -> str:
@@ -807,6 +831,9 @@ class CrowdFill(Operator):
         if self.spec.runtime is not None:
             parts.append(f"cache_hits={self.cache_hits}")
             parts.append(f"coalesced={self.coalesced}")
+        if self.mean_worker_accuracy is not None:
+            parts.append(f"mean_worker_accuracy={self.mean_worker_accuracy:.3f}")
+            parts.append(f"assignments_saved={self.assignments_saved}")
         return parts
 
 
@@ -1237,7 +1264,7 @@ class CrowdEnumerate(Operator):
         return f"{prefix} {self.detail()}"
 
     def extra_stats(self) -> list[str]:
-        return [
+        parts = [
             f"batches={self.batches_pulled}",
             f"rows_enumerated={self.rows_enumerated}",
             f"unique_seen={self.estimator.unique_seen}",
@@ -1248,6 +1275,10 @@ class CrowdEnumerate(Operator):
             f"coalesced={self.coalesced}",
             f"cost={self.cost_spent:.4f}",
         ]
+        tracker = getattr(self.spec.runtime, "worker_quality", None)
+        if tracker is not None and tracker.n_workers:
+            parts.append(f"mean_worker_accuracy={tracker.mean_accuracy():.3f}")
+        return parts
 
 
 # ---------------------------------------------------------------------------

@@ -437,11 +437,13 @@ class TableStorage:
         return counts
 
     def low_confidence_rowids(self, column_name: str, threshold: float) -> list[int]:
-        """Rowids whose predicted value falls below the confidence threshold.
+        """Rowids whose acquired value falls below the confidence threshold.
 
-        These are the re-acquisition candidates: cells filled by a model
-        rather than a human, with a confidence the session no longer
-        accepts.
+        These are the re-acquisition candidates: cells filled by a model —
+        or by an accuracy-weighted crowd vote whose posterior stayed low —
+        with a confidence the session no longer accepts.  Crowd cells
+        written without an explicit confidence default to 1.0 and are
+        never re-acquired.
         """
         column = self.schema.column(column_name)
         entries = self._provenance.get(column.name, {})
@@ -449,6 +451,6 @@ class TableStorage:
             rowid
             for rowid, entry in entries.items()
             if rowid in self._rows
-            and entry.source == "predicted"
+            and entry.source in ("predicted", "crowd")
             and entry.confidence < threshold
         )

@@ -81,6 +81,7 @@ RECORD_TYPES = frozenset(
         "add_column",
         "create_index",
         "enum_answers",
+        "worker_stats",
     }
 )
 

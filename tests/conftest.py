@@ -9,8 +9,21 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.datasets.movies import build_movie_corpus
+
+# Hypothesis profiles: the default CI runs keep the stock example budget;
+# the nightly deep-tests workflow selects the exhaustive profile with
+# ``--hypothesis-profile=nightly`` (deadlines off: shared session fixtures
+# make first-example wall-clock noisy on CI runners).
+settings.register_profile("ci", settings.default)
+settings.register_profile(
+    "nightly",
+    max_examples=1000,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
 from repro.db.connection import Connection
 from repro.experiments.context import MovieExperimentConfig, get_movie_context
 from repro.perceptual.euclidean_embedding import EuclideanEmbeddingModel

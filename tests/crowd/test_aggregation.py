@@ -7,12 +7,14 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.crowd.aggregation import (
+    AccuracyWeightedVote,
     MajorityVote,
     WeightedVote,
     group_judgments,
     score_against_truth,
 )
 from repro.crowd.hit import Answer, Judgment
+from repro.crowd.worker_quality import WorkerQualityTracker
 
 
 def judgment(item_id: int, worker_id: int, answer: Answer) -> Judgment:
@@ -69,6 +71,14 @@ class TestMajorityVote:
         with pytest.raises(ValueError):
             MajorityVote(minimum_votes=0)
 
+    def test_quorum_counts_informative_votes_only(self):
+        # Regression pin: a pile of "don't know" answers must never
+        # satisfy the quorum — only positive/negative votes count toward
+        # minimum_votes.
+        aggregator = MajorityVote(minimum_votes=3)
+        assert aggregator.aggregate_item(1, votes(1, 2, 0, dont_know=10)).label is None
+        assert aggregator.aggregate_item(1, votes(1, 2, 1, dont_know=10)).label is True
+
     def test_labels_only_returns_classified(self):
         labels = MajorityVote().labels(votes(1, 3, 1) + votes(2, 2, 2))
         assert labels == {1: True}
@@ -108,6 +118,84 @@ class TestWeightedVote:
 
     def test_tie_on_weights_is_unclassified(self):
         assert WeightedVote().aggregate_item(1, votes(1, 2, 2)).label is None
+
+
+class TestAccuracyWeightedVote:
+    def test_cold_start_matches_flat_majority(self):
+        # With no per-worker knowledge every weight is equal, so the label
+        # is exactly the flat majority label on any vote split.
+        for positives, negatives, dont_know in [(3, 1, 0), (1, 3, 2), (2, 2, 1), (0, 0, 4)]:
+            judgments = votes(1, positives, negatives, dont_know)
+            weighted = AccuracyWeightedVote().aggregate_item(1, judgments)
+            flat = MajorityVote().aggregate_item(1, judgments)
+            assert weighted.label == flat.label
+
+    def test_tracker_weights_can_flip_decision(self):
+        tracker = WorkerQualityTracker()
+        # Workers 1 and 2 (voting POSITIVE) are known-bad; worker 3
+        # (voting NEGATIVE) is known-good.
+        for _ in range(20):
+            tracker.observe_gold(1, False)
+            tracker.observe_gold(2, False)
+            tracker.observe_gold(3, True)
+        judgments = votes(1, 2, 1)
+        assert MajorityVote().aggregate_item(1, judgments).label is True
+        outcome = AccuracyWeightedVote(tracker).aggregate_item(1, judgments)
+        assert outcome.label is False
+        assert outcome.confidence > 0.5
+
+    def test_confidence_grows_with_agreement(self):
+        vote = AccuracyWeightedVote()
+        few = vote.aggregate_item(1, votes(1, 2, 0))
+        many = vote.aggregate_item(1, votes(1, 5, 0))
+        assert many.confidence > few.confidence > 0.5
+
+    def test_tie_has_half_confidence(self):
+        outcome = AccuracyWeightedVote().aggregate_item(1, votes(1, 2, 2))
+        assert outcome.label is None
+        assert outcome.confidence == pytest.approx(0.5)
+
+    def test_quorum_counts_informative_votes_only(self):
+        # Same quorum semantics as MajorityVote: "don't know" answers do
+        # not count toward minimum_votes, and a missed quorum reports
+        # zero confidence.
+        vote = AccuracyWeightedVote(minimum_votes=3)
+        outcome = vote.aggregate_item(1, votes(1, 2, 0, dont_know=10))
+        assert outcome.label is None
+        assert outcome.confidence == 0.0
+        assert vote.aggregate_item(1, votes(1, 2, 1, dont_know=10)).label is True
+
+    def test_accuracy_sources(self):
+        mapping = AccuracyWeightedVote({1: 0.95}, default_accuracy=0.6)
+        assert mapping.accuracy_of(1) == pytest.approx(0.95)
+        assert mapping.accuracy_of(2) == pytest.approx(0.6)
+        fn = AccuracyWeightedVote(lambda worker_id: 0.8)
+        assert fn.accuracy_of(7) == pytest.approx(0.8)
+        with pytest.raises(TypeError):
+            AccuracyWeightedVote(42)
+
+    def test_extreme_estimates_are_clamped(self):
+        vote = AccuracyWeightedVote({1: 1.0, 2: 0.0})
+        assert 0.0 < vote.accuracy_of(1) < 1.0
+        assert 0.0 < vote.accuracy_of(2) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyWeightedVote(minimum_votes=0)
+        with pytest.raises(ValueError):
+            AccuracyWeightedVote(default_accuracy=1.0)
+
+    def test_labels_only_returns_classified(self):
+        labels = AccuracyWeightedVote().labels(votes(1, 3, 1) + votes(2, 2, 2))
+        assert labels == {1: True}
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+    def test_cold_start_equivalence_property(self, positives, negatives, dont_know):
+        judgments = votes(1, positives, negatives, dont_know)
+        weighted = AccuracyWeightedVote().aggregate_item(1, judgments)
+        flat = MajorityVote().aggregate_item(1, judgments)
+        assert weighted.label == flat.label
+        assert 0.0 <= weighted.confidence <= 1.0
 
 
 class TestScoring:

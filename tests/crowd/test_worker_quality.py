@@ -1,0 +1,190 @@
+"""Tests for the per-worker accuracy tracker and its estimator."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crowd.worker_quality import (
+    ACCURACY_CEILING,
+    ACCURACY_FLOOR,
+    DEFAULT_PRIOR_CORRECT,
+    DEFAULT_PRIOR_INCORRECT,
+    WorkerQualityTracker,
+    estimate_accuracy,
+)
+
+
+class TestEstimateAccuracy:
+    def test_cold_start_is_the_prior_mean(self):
+        expected = DEFAULT_PRIOR_CORRECT / (DEFAULT_PRIOR_CORRECT + DEFAULT_PRIOR_INCORRECT)
+        assert estimate_accuracy(0, 0) == pytest.approx(expected)
+
+    def test_evidence_moves_the_posterior(self):
+        assert estimate_accuracy(10, 0) > estimate_accuracy(0, 0)
+        assert estimate_accuracy(0, 10) < estimate_accuracy(0, 0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_accuracy(-1, 0)
+        with pytest.raises(ValueError):
+            estimate_accuracy(0, -0.5)
+
+    def test_clamped_into_open_interval(self):
+        assert estimate_accuracy(1e9, 0) == ACCURACY_CEILING
+        assert estimate_accuracy(0, 1e9) == ACCURACY_FLOOR
+
+
+class TestTrackerBasics:
+    def test_unseen_worker_gets_prior_mean(self):
+        tracker = WorkerQualityTracker()
+        assert tracker.accuracy_of(99) == pytest.approx(0.7)
+        assert tracker.n_workers == 0
+
+    def test_gold_observations_update_counts(self):
+        tracker = WorkerQualityTracker()
+        tracker.observe_gold(1, True)
+        tracker.observe_gold(1, True)
+        tracker.observe_gold(1, False)
+        assert tracker.totals() == {1: (2.0, 1.0)}
+        assert tracker.n_workers == 1
+
+    def test_agreement_is_downweighted(self):
+        gold, agree = WorkerQualityTracker(), WorkerQualityTracker(agreement_weight=0.5)
+        gold.observe_gold(1, True)
+        agree.observe_agreement(1, True)
+        assert agree.accuracy_of(1) < gold.accuracy_of(1)
+        assert agree.totals() == {1: (0.5, 0.0)}
+
+    def test_mean_accuracy_over_subset(self):
+        tracker = WorkerQualityTracker()
+        tracker.observe_gold(1, True)
+        tracker.observe_gold(2, False)
+        subset = tracker.mean_accuracy([1])
+        assert subset == pytest.approx(tracker.accuracy_of(1))
+        both = tracker.mean_accuracy()
+        assert both == pytest.approx(
+            (tracker.accuracy_of(1) + tracker.accuracy_of(2)) / 2
+        )
+
+    def test_mean_accuracy_of_empty_tracker_is_prior(self):
+        assert WorkerQualityTracker().mean_accuracy() == pytest.approx(0.7)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerQualityTracker(prior_correct=0)
+        with pytest.raises(ValueError):
+            WorkerQualityTracker(agreement_weight=0.0)
+        with pytest.raises(ValueError):
+            WorkerQualityTracker(agreement_weight=1.5)
+
+    def test_zero_weight_observation_rejected(self):
+        tracker = WorkerQualityTracker()
+        with pytest.raises(ValueError):
+            tracker.observe_gold(1, True, weight=0.0)
+
+
+class TestDurabilityHooks:
+    def test_flush_journals_absolute_totals_of_dirty_workers_only(self):
+        seen: list[dict[int, tuple[float, float]]] = []
+        tracker = WorkerQualityTracker(journal=seen.append)
+        tracker.observe_gold(1, True)
+        tracker.observe_gold(2, False)
+        tracker.flush()
+        assert seen == [{1: (1.0, 0.0), 2: (0.0, 1.0)}]
+        tracker.observe_gold(1, True)
+        tracker.flush()
+        # Only worker 1 was touched since the last flush — and the totals
+        # are absolute, not deltas.
+        assert seen[1] == {1: (2.0, 0.0)}
+
+    def test_flush_without_dirt_or_journal_is_a_no_op(self):
+        seen: list[dict[int, tuple[float, float]]] = []
+        tracker = WorkerQualityTracker(journal=seen.append)
+        tracker.flush()
+        assert seen == []
+        WorkerQualityTracker().flush()  # no journal: never raises
+
+    def test_journal_runs_outside_the_tracker_lock(self):
+        tracker = WorkerQualityTracker()
+
+        def journal(_totals):
+            # Re-entering the tracker from the journal callback must not
+            # deadlock (threading.Lock is not re-entrant).
+            tracker.accuracy_of(1)
+
+        tracker.journal = journal
+        tracker.observe_gold(1, True)
+        done = threading.Event()
+        thread = threading.Thread(target=lambda: (tracker.flush(), done.set()))
+        thread.start()
+        thread.join(timeout=5.0)
+        assert done.is_set(), "journal callback deadlocked against the tracker lock"
+
+    def test_load_totals_warm_starts_last_write_wins(self):
+        tracker = WorkerQualityTracker()
+        tracker.observe_gold(1, False)
+        tracker.load_totals({1: (5.0, 0.0), 2: (0.0, 3.0)})
+        assert tracker.totals() == {1: (5.0, 0.0), 2: (0.0, 3.0)}
+        assert tracker.accuracy_of(1) > 0.7 > tracker.accuracy_of(2)
+
+    def test_load_totals_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            WorkerQualityTracker().load_totals({1: (-1.0, 0.0)})
+
+
+class TestTrackerProperties:
+    @given(
+        correct=st.integers(min_value=0, max_value=500),
+        incorrect=st.integers(min_value=0, max_value=500),
+    )
+    def test_accuracy_strictly_inside_unit_interval(self, correct, incorrect):
+        tracker = WorkerQualityTracker()
+        for _ in range(correct):
+            tracker.observe_gold(7, True)
+        for _ in range(incorrect):
+            tracker.observe_gold(7, False)
+        accuracy = tracker.accuracy_of(7)
+        assert 0.0 < accuracy < 1.0
+
+    @given(
+        outcomes=st.lists(st.booleans(), max_size=60),
+        extra_correct=st.integers(min_value=1, max_value=10),
+    )
+    def test_monotone_in_gold_correctness(self, outcomes, extra_correct):
+        base, better = WorkerQualityTracker(), WorkerQualityTracker()
+        for outcome in outcomes:
+            base.observe_gold(1, outcome)
+            better.observe_gold(1, outcome)
+        for _ in range(extra_correct):
+            better.observe_gold(1, True)
+        assert better.accuracy_of(1) >= base.accuracy_of(1)
+        # ... and the same number of *incorrect* observations moves it down.
+        worse = WorkerQualityTracker()
+        for outcome in outcomes:
+            worse.observe_gold(1, outcome)
+        for _ in range(extra_correct):
+            worse.observe_gold(1, False)
+        assert worse.accuracy_of(1) <= base.accuracy_of(1)
+
+    @given(
+        observations=st.lists(
+            st.tuples(st.integers(min_value=1, max_value=5), st.booleans()),
+            max_size=60,
+        ),
+        seed=st.randoms(use_true_random=False),
+    )
+    def test_order_independent_over_permutations(self, observations, seed):
+        shuffled = list(observations)
+        seed.shuffle(shuffled)
+        a, b = WorkerQualityTracker(), WorkerQualityTracker()
+        for worker_id, outcome in observations:
+            a.observe_gold(worker_id, outcome)
+        for worker_id, outcome in shuffled:
+            b.observe_gold(worker_id, outcome)
+        assert a.totals() == b.totals()
+        for worker_id in {worker_id for worker_id, _ in observations}:
+            assert a.accuracy_of(worker_id) == pytest.approx(b.accuracy_of(worker_id))

@@ -82,6 +82,7 @@ class TestFraming:
             "add_column",
             "create_index",
             "enum_answers",
+            "worker_stats",
         }
 
     def test_torn_tail_stops_scan(self, tmp_path):

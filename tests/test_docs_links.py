@@ -72,6 +72,7 @@ def test_docs_tree_is_complete():
         "architecture.md",
         "operators.md",
         "acquisition.md",
+        "quality.md",
         "enumeration.md",
         "persistence.md",
         "api.md",
